@@ -1,0 +1,80 @@
+// E14a (ablation, DESIGN.md §4.2): Chase–Lev lock-free deque vs a
+// mutex-protected deque.
+//
+// The owner-side path (push_bottom/pop_bottom) is the one Sec. 3.2 says
+// must cost nearly nothing — "in the common case, Cilk++ operates just like
+// C++ and imposes little overhead" — because every spawn and return crosses
+// it. The steal path may be slow; it is executed only by hungry thieves.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <thread>
+
+#include "deque/abp_deque.hpp"
+#include "deque/chase_lev.hpp"
+#include "deque/locked_deque.hpp"
+
+namespace {
+
+using cilkpp::abp_deque;
+using cilkpp::chase_lev_deque;
+using cilkpp::locked_deque;
+using cilkpp::steal_result;
+
+template <typename D>
+void BM_owner_push_pop(benchmark::State& state) {
+  D d;
+  std::uint64_t item = 42;
+  for (auto _ : state) {
+    d.push_bottom(&item);
+    benchmark::DoNotOptimize(d.pop_bottom());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_owner_push_pop<chase_lev_deque<std::uint64_t*>>);
+BENCHMARK(BM_owner_push_pop<abp_deque<std::uint64_t*>>);
+BENCHMARK(BM_owner_push_pop<locked_deque<std::uint64_t*>>);
+
+template <typename D>
+void BM_owner_push_pop_under_thief(benchmark::State& state) {
+  D d;
+  std::uint64_t item = 42;
+  std::atomic<bool> stop{false};
+  std::thread thief([&] {
+    std::uint64_t* out = nullptr;
+    while (!stop.load(std::memory_order_acquire)) {
+      benchmark::DoNotOptimize(d.steal(out));
+    }
+  });
+  for (auto _ : state) {
+    d.push_bottom(&item);
+    benchmark::DoNotOptimize(d.pop_bottom());
+  }
+  stop.store(true, std::memory_order_release);
+  thief.join();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_owner_push_pop_under_thief<chase_lev_deque<std::uint64_t*>>);
+BENCHMARK(BM_owner_push_pop_under_thief<abp_deque<std::uint64_t*>>);
+BENCHMARK(BM_owner_push_pop_under_thief<locked_deque<std::uint64_t*>>);
+
+template <typename D>
+void BM_steal_throughput(benchmark::State& state) {
+  D d;
+  std::uint64_t item = 42;
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (int i = 0; i < 1024; ++i) d.push_bottom(&item);
+    state.ResumeTiming();
+    std::uint64_t* out = nullptr;
+    for (int i = 0; i < 1024; ++i) benchmark::DoNotOptimize(d.steal(out));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_steal_throughput<chase_lev_deque<std::uint64_t*>>);
+BENCHMARK(BM_steal_throughput<abp_deque<std::uint64_t*>>);
+BENCHMARK(BM_steal_throughput<locked_deque<std::uint64_t*>>);
+
+}  // namespace
+
+BENCHMARK_MAIN();

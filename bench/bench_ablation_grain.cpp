@@ -1,0 +1,49 @@
+// E14c (ablation): cilk_for grain size.
+//
+// Small grains maximize parallelism but pay a spawn per few iterations;
+// large grains amortize spawns but starve the machine. The sweep shows the
+// wide flat optimum that makes the default rule min(2048, N/(8P)) safe,
+// measured two ways: simulated makespan (scheduling view) and recorded
+// dag parallelism (analysis view).
+#include <iostream>
+
+#include "dag/analysis.hpp"
+#include "dag/generators.hpp"
+#include "runtime/parallel_for.hpp"
+#include "sim/machine.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace cilkpp;
+  std::cout << "=== E14c: cilk_for grain-size ablation ===\n\n";
+
+  constexpr std::uint64_t iterations = 1 << 16;
+  constexpr std::uint64_t work_per_iter = 20;
+  constexpr unsigned procs = 8;
+
+  table t{"grain", "strands", "parallelism", "T_8 (sim)", "speedup",
+          "spawn overhead %"};
+  for (const std::uint64_t grain :
+       {1ull, 4ull, 16ull, 64ull, 256ull, 1024ull, 2048ull, 8192ull, 65536ull}) {
+    const dag::graph g = dag::loop_dag(iterations, grain, work_per_iter);
+    const dag::metrics m = dag::analyze(g);
+    sim::machine_config cfg;
+    cfg.processors = procs;
+    cfg.steal_latency = 10;
+    cfg.seed = 29;
+    const auto r = sim::simulate(g, cfg);
+    const double pure_work = static_cast<double>(iterations * work_per_iter);
+    t.row(grain, g.num_vertices(), m.parallelism(), r.makespan,
+          pure_work / static_cast<double>(r.makespan),
+          100.0 * (static_cast<double>(m.work) - pure_work) / pure_work);
+  }
+  const std::uint64_t auto_grain = rt::default_grain(iterations, procs);
+  t.set_title("65536 iterations x 20 instr, P = 8; default rule picks grain " +
+              table::format_cell(auto_grain));
+  t.print(std::cout);
+
+  std::cout << "\nReading: grains 16-2048 are within a few percent of each\n"
+               "other — the default rule's regime; grain 1 pays the split\n"
+               "spine, grain 65536 serializes the loop entirely.\n";
+  return 0;
+}

@@ -1,0 +1,56 @@
+// E14b (ablation, DESIGN.md §4.1): child-first (Cilk's work-first) vs
+// parent-first (help-first) spawn policy.
+//
+// Makespans are comparable on balanced dags, but the memory guarantee of
+// Sec. 3.1 belongs to child-first alone: on the wide spawn loop the
+// parent-first producer floods its deque faster than thieves drain it.
+#include <iostream>
+
+#include "dag/analysis.hpp"
+#include "dag/generators.hpp"
+#include "sim/machine.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace cilkpp;
+  std::cout << "=== E14b: spawn policy ablation (child-first vs parent-first) ===\n\n";
+
+  struct shape {
+    const char* name;
+    dag::graph g;
+  };
+  shape shapes[] = {
+      {"fib(18) cutoff 4", dag::fib_dag(18, 4, 25)},
+      {"cilk_for 8192", dag::loop_dag(8192, 8, 30)},
+      {"spawn loop 100k", dag::spawn_loop_dag(100000, 50)},
+  };
+
+  for (const auto& s : shapes) {
+    const dag::metrics m = dag::analyze(s.g);
+    table t{"P", "policy", "T_P", "speedup", "steals", "peak residency"};
+    for (const unsigned procs : {4u, 16u}) {
+      for (const auto policy :
+           {sim::spawn_policy::child_first, sim::spawn_policy::parent_first}) {
+        sim::machine_config cfg;
+        cfg.processors = procs;
+        cfg.steal_latency = 10;
+        cfg.seed = 23;
+        cfg.policy = policy;
+        const auto r = sim::simulate(s.g, cfg);
+        t.row(procs,
+              policy == sim::spawn_policy::child_first ? "child-first"
+                                                       : "parent-first",
+              r.makespan, r.speedup(m.work), r.steals, r.peak_residency);
+      }
+    }
+    t.set_title(std::string(s.name) + "  (T1=" + table::format_cell(m.work) +
+                ", parallelism=" + table::format_cell(m.parallelism()) + ")");
+    t.print(std::cout);
+    std::cout << '\n';
+  }
+
+  std::cout << "Reading: on the spawn loop, parent-first residency grows with\n"
+               "the iteration count while child-first stays O(P) — why Cilk++\n"
+               "dives into the child and leaves the continuation to thieves.\n";
+  return 0;
+}

@@ -1,0 +1,198 @@
+// E11 (Sec. 4): the Cilkscreen race detector.
+//
+// Detection table: the paper's positive and negative examples —
+//   * Fig. 5's naive tree walk (global list, no lock): race reported;
+//   * Fig. 6's mutex walk: quiet (common lock suppresses);
+//   * Fig. 1's quicksort: quiet;
+//   * Sec. 4's mutated quicksort (line 13 `middle-1`, overlapping
+//     subproblems): race reported, deterministically, in ONE serial run —
+//     the guarantee that an exposed race is always caught, while actual
+//     parallel executions "may execute successfully millions of times".
+// Overhead table: instrumented vs uninstrumented serial execution.
+#include <algorithm>
+#include <iostream>
+#include <list>
+#include <vector>
+
+#include "cilkscreen/screen_context.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+#include "support/timing.hpp"
+#include "workloads/treewalk.hpp"
+
+namespace {
+
+using namespace cilkpp;
+using namespace cilkpp::screen;
+
+// Instrumented quicksort over cell<int>, with the Sec. 4 mutation toggle.
+void sqsort(screen_context& ctx, std::vector<cell<int>>& a, int lo, int hi,
+            bool buggy) {
+  if (hi - lo < 2) return;
+  const int pivot = a[static_cast<std::size_t>(lo)].get(ctx);
+  int mid = lo;
+  for (int i = lo + 1; i < hi; ++i) {
+    if (a[static_cast<std::size_t>(i)].get(ctx) < pivot) {
+      ++mid;
+      const int t = a[static_cast<std::size_t>(i)].get(ctx);
+      a[static_cast<std::size_t>(i)].set(ctx, a[static_cast<std::size_t>(mid)].get(ctx));
+      a[static_cast<std::size_t>(mid)].set(ctx, t);
+    }
+  }
+  const int t = a[static_cast<std::size_t>(lo)].get(ctx);
+  a[static_cast<std::size_t>(lo)].set(ctx, a[static_cast<std::size_t>(mid)].get(ctx));
+  a[static_cast<std::size_t>(mid)].set(ctx, t);
+  const int right = buggy ? std::max(lo + 1, mid - 1) : mid + 1;
+  ctx.spawn([&, lo, mid, buggy](screen_context& c) { sqsort(c, a, lo, mid, buggy); });
+  sqsort(ctx, a, right, hi, buggy);
+  ctx.sync();
+}
+
+// The same quicksort driven through the SP-order engine.
+void sqsort2(order_context& ctx, std::vector<cell<int>>& a, int lo, int hi,
+             bool buggy) {
+  if (hi - lo < 2) return;
+  const int pivot = a[static_cast<std::size_t>(lo)].get(ctx);
+  int mid = lo;
+  for (int i = lo + 1; i < hi; ++i) {
+    if (a[static_cast<std::size_t>(i)].get(ctx) < pivot) {
+      ++mid;
+      const int t = a[static_cast<std::size_t>(i)].get(ctx);
+      a[static_cast<std::size_t>(i)].set(ctx, a[static_cast<std::size_t>(mid)].get(ctx));
+      a[static_cast<std::size_t>(mid)].set(ctx, t);
+    }
+  }
+  const int t = a[static_cast<std::size_t>(lo)].get(ctx);
+  a[static_cast<std::size_t>(lo)].set(ctx, a[static_cast<std::size_t>(mid)].get(ctx));
+  a[static_cast<std::size_t>(mid)].set(ctx, t);
+  const int right = buggy ? std::max(lo + 1, mid - 1) : mid + 1;
+  ctx.spawn([&, lo, mid, buggy](order_context& c) { sqsort2(c, a, lo, mid, buggy); });
+  sqsort2(ctx, a, right, hi, buggy);
+  ctx.sync();
+}
+
+// Instrumented Fig. 5/6/7 walks over an instrumented output-list length.
+void swalk(screen_context& ctx, const workloads::assembly_node* x,
+           const workloads::collision_model& model, cell<int>& list_len,
+           screen_mutex* mutex) {
+  if (x == nullptr) return;
+  if (workloads::collides(model, x->id)) {
+    if (mutex != nullptr) mutex->lock(ctx);
+    list_len.update(ctx, [](int& v) { ++v; });
+    if (mutex != nullptr) mutex->unlock(ctx);
+  }
+  ctx.spawn([&, left = x->left.get()](screen_context& c) {
+    swalk(c, left, model, list_len, mutex);
+  });
+  swalk(ctx, x->right.get(), model, list_len, mutex);
+  ctx.sync();
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== E11: Cilkscreen race detection ===\n\n";
+  const workloads::collision_model model{.cost = 5, .threshold = 256};
+  const workloads::assembly asmbl = workloads::build_assembly(11, model, 3);
+
+  table t{"program", "paper expectation", "races", "reads", "writes",
+          "lock-suppressed"};
+
+  {
+    detector d;
+    cell<int> len(0, "output_list");
+    run_under_detector(d, [&](screen_context& ctx) {
+      swalk(ctx, asmbl.root.get(), model, len, nullptr);
+    });
+    t.row("Fig. 5 naive walk", "race on output_list", d.stats().races_found,
+          d.stats().reads_checked, d.stats().writes_checked,
+          d.stats().races_lock_suppressed);
+  }
+  {
+    detector d;
+    cell<int> len(0, "output_list");
+    screen_mutex L(d);
+    run_under_detector(d, [&](screen_context& ctx) {
+      swalk(ctx, asmbl.root.get(), model, len, &L);
+    });
+    t.row("Fig. 6 mutex walk", "quiet", d.stats().races_found,
+          d.stats().reads_checked, d.stats().writes_checked,
+          d.stats().races_lock_suppressed);
+  }
+  for (const bool buggy : {false, true}) {
+    detector d;
+    xoshiro256 rng(41);
+    std::vector<cell<int>> a;
+    for (int i = 0; i < 2000; ++i) a.emplace_back(static_cast<int>(rng.below(100000)));
+    run_under_detector(d, [&](screen_context& ctx) {
+      sqsort(ctx, a, 0, static_cast<int>(a.size()), buggy);
+    });
+    t.row(buggy ? "Sec. 4 mutated qsort (middle-1)" : "Fig. 1 qsort",
+          buggy ? "race (overlap)" : "quiet", d.stats().races_found,
+          d.stats().reads_checked, d.stats().writes_checked,
+          d.stats().races_lock_suppressed);
+  }
+  t.print(std::cout);
+
+  // Determinism: the exposed race is caught in EVERY single serial run.
+  int caught = 0;
+  for (int run = 0; run < 10; ++run) {
+    detector d;
+    xoshiro256 rng(100 + static_cast<std::uint64_t>(run));
+    std::vector<cell<int>> a;
+    for (int i = 0; i < 500; ++i) a.emplace_back(static_cast<int>(rng.below(100000)));
+    run_under_detector(d, [&](screen_context& ctx) {
+      sqsort(ctx, a, 0, static_cast<int>(a.size()), true);
+    });
+    caught += d.found_races() ? 1 : 0;
+  }
+  std::cout << "\nMutated qsort over 10 random inputs: race caught in " << caught
+            << "/10 single serial runs (paper: guaranteed when exposed).\n\n";
+
+  // Overhead of the detector vs the bare elision.
+  {
+    std::vector<int> raw(50000);
+    xoshiro256 rng(5);
+    for (int& v : raw) v = static_cast<int>(rng.below(1 << 20));
+
+    stopwatch sw;
+    auto copy = raw;
+    std::sort(copy.begin(), copy.end());
+    const double plain_s = sw.elapsed_s();
+
+    detector d;
+    std::vector<cell<int>> a;
+    a.reserve(raw.size());
+    for (int v : raw) a.emplace_back(v);
+    sw.reset();
+    run_under_detector(d, [&](screen_context& ctx) {
+      sqsort(ctx, a, 0, static_cast<int>(a.size()), false);
+    });
+    const double screened_s = sw.elapsed_s();
+
+    // Second engine: SP-order (order-maintenance lists, paper ref [2]).
+    order_detector od;
+    std::vector<cell<int>> a2;
+    a2.reserve(raw.size());
+    for (int v : raw) a2.emplace_back(v);
+    sw.reset();
+    run_under_detector(od, [&](order_context& ctx) {
+      sqsort2(ctx, a2, 0, static_cast<int>(a2.size()), false);
+    });
+    const double order_s = sw.elapsed_s();
+
+    table o{"configuration", "time (s)", "slowdown", "accesses checked"};
+    o.row("std::sort, uninstrumented", plain_s, 1.0, std::uint64_t{0});
+    o.row("qsort under SP-bags engine", screened_s, screened_s / plain_s,
+          d.stats().reads_checked + d.stats().writes_checked);
+    o.row("qsort under SP-order engine", order_s, order_s / plain_s,
+          od.stats().reads_checked + od.stats().writes_checked);
+    o.set_title("detector overhead, n = 50000 (binary-instrumentation tools "
+                "pay a comparable constant)");
+    o.print(std::cout);
+    std::cout << "SP-order engine: " << od.relabel_count()
+              << " order-maintenance relabels; both engines report "
+                 "identically (see tests/sporder_test.cpp).\n";
+  }
+  return 0;
+}

@@ -1,0 +1,58 @@
+// E4 (Fig. 3): the parallelism profile of the Fig. 1 quicksort.
+//
+// The paper runs quicksort on 100 million numbers and shows: the Work-Law
+// line of slope 1, the Span-Law ceiling at parallelism ≈ 10.31 (since
+// quicksort's expected parallelism is only O(lg n) — the first partition is
+// a serial Θ(n) pass), a burdened lower-bound curve, and the measured
+// speedup points between the curves.
+//
+// Here the program is recorded into its computation dag (n = 10^7 by
+// default; the dag is strand-level so this is cheap), analyzed by the
+// cilkview reproduction, and executed on the simulated machine for the
+// measured series.
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "cilkview/profile.hpp"
+#include "dag/analysis.hpp"
+#include "dag/recorder.hpp"
+#include "sim/machine.hpp"
+#include "support/table.hpp"
+#include "workloads/qsort.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cilkpp;
+  const std::size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
+                                 : std::size_t{10000000};
+  std::cout << "=== E4 / Fig. 3: parallelism profile of quicksort, n = " << n
+            << " ===\n\n";
+
+  auto data = workloads::random_doubles(n, 2009);
+  const dag::graph g = dag::record([&](dag::recorder_context& ctx) {
+    workloads::qsort(ctx, data.data(), data.data() + data.size(),
+                     /*cutoff=*/1024);
+  });
+
+  const cilkview::profile p = cilkview::analyze_dag(g, /*burden=*/2000);
+
+  const std::vector<unsigned> procs{1, 2, 4, 8, 12, 16, 24, 32, 48, 64};
+  std::vector<double> measured;
+  measured.reserve(procs.size());
+  for (const unsigned P : procs) {
+    sim::machine_config cfg;
+    cfg.processors = P;
+    cfg.steal_latency = 50;  // the "burden" the lower curve anticipates
+    cfg.seed = 31;
+    measured.push_back(sim::simulate(g, cfg).speedup(p.work));
+  }
+
+  cilkview::print_report(std::cout, p, procs, measured);
+
+  std::cout << "\nPaper (n = 10^8): span-law ceiling at 10.31; parallelism of "
+               "sorting is only O(lg n).\n";
+  std::cout << "Here (n = 10^" << (n >= 10000000 ? 7 : 6)
+            << "): ceiling at " << p.parallelism()
+            << " — same regime, scaled by lg n.\n";
+  return 0;
+}

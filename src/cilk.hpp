@@ -1,0 +1,33 @@
+// Umbrella header: the whole cilkpp public API in one include.
+//
+//   #include "cilk.hpp"
+//
+//   cilk::scheduler        the work-stealing runtime        (paper Sec. 3)
+//   cilk::context          a Cilk function instance: spawn/sync/call
+//   cilk::parallel_for     the cilk_for loop                (Sec. 1, 2)
+//   cilk::mutex            the lock library                 (Sec. 1)
+//   cilk::reducer<M>, cilk::holder<T>, cilk::hyper::*  hyperobjects (Sec. 5)
+//   cilkpp::cilkview::*    work/span performance analysis   (Sec. 3.1, Fig. 3)
+//   cilkpp::screen::*      Cilkscreen race detection        (Sec. 4)
+//   cilkpp::dag::*         the dag model + recorder         (Sec. 2)
+//   cilkpp::sim::*         the multiprocessor simulator     (DESIGN.md)
+#pragma once
+
+#include "cilkscreen/screen_context.hpp"
+#include "cilkview/online.hpp"
+#include "cilkview/profile.hpp"
+#include "cilkview/scaling.hpp"
+#include "dag/analysis.hpp"
+#include "dag/generators.hpp"
+#include "dag/recorder.hpp"
+#include "dag/serialize.hpp"
+#include "hyper/holder.hpp"
+#include "hyper/monoid.hpp"
+#include "hyper/reducer.hpp"
+#include "hyper/reducers.hpp"
+#include "runtime/mutex.hpp"
+#include "runtime/parallel_for.hpp"
+#include "runtime/scheduler.hpp"
+#include "runtime/serial.hpp"
+#include "sim/baselines.hpp"
+#include "sim/machine.hpp"

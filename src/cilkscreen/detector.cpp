@@ -1,0 +1,163 @@
+#include "cilkscreen/detector.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace cilkpp::screen {
+
+namespace {
+constexpr std::size_t initial_table_size = 1 << 12;  // power of two
+
+std::size_t hash_byte(std::uintptr_t byte, std::size_t mask) {
+  std::uint64_t z = static_cast<std::uint64_t>(byte);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return static_cast<std::size_t>(z ^ (z >> 31)) & mask;
+}
+}  // namespace
+
+detector::detector() : table_(initial_table_size) {
+  root_ = bags_.create_root();
+  stats_.procedures = 1;
+}
+
+proc_id detector::enter_spawn(proc_id parent) {
+  ++stats_.procedures;
+  return bags_.enter_procedure(parent);
+}
+
+void detector::exit_spawn(proc_id parent, proc_id child) {
+  bags_.return_spawned(parent, child);
+}
+
+proc_id detector::enter_call(proc_id parent) {
+  ++stats_.procedures;
+  return bags_.enter_procedure(parent);
+}
+
+void detector::exit_call(proc_id parent, proc_id child) {
+  bags_.return_called(parent, child);
+}
+
+void detector::sync(proc_id f) { bags_.sync(f); }
+
+detector::shadow_cell& detector::cell(std::uintptr_t byte) {
+  CILKPP_ASSERT(byte != 0, "null address instrumented");
+  // Grow at 70% load; rehash in place into a fresh table.
+  if (table_used_ * 10 >= table_.size() * 7) {
+    std::vector<std::pair<std::uintptr_t, shadow_cell>> old(table_.size() * 2);
+    old.swap(table_);
+    for (auto& [addr, c] : old) {
+      if (addr == 0) continue;
+      std::size_t i = hash_byte(addr, table_.size() - 1);
+      while (table_[i].first != 0) i = (i + 1) & (table_.size() - 1);
+      table_[i] = {addr, std::move(c)};
+    }
+  }
+  std::size_t i = hash_byte(byte, table_.size() - 1);
+  while (table_[i].first != 0 && table_[i].first != byte) {
+    i = (i + 1) & (table_.size() - 1);
+  }
+  if (table_[i].first == 0) {
+    table_[i].first = byte;
+    ++table_used_;
+  }
+  return table_[i].second;
+}
+
+bool detector::locks_disjoint(const lockset& a) const {
+  for (lock_id x : a)
+    for (lock_id y : held_)
+      if (x == y) return false;
+  return true;
+}
+
+void detector::report(std::uintptr_t addr, const access_info& first,
+                      access_kind fk, proc_id current, access_kind sk,
+                      const char* label) {
+  if (!locks_disjoint(first.locks)) {
+    ++stats_.races_lock_suppressed;
+    return;
+  }
+  ++stats_.races_found;
+  if (races_.size() >= max_reports) return;
+  const std::uint64_t key = (static_cast<std::uint64_t>(addr) << 2) |
+                            (static_cast<std::uint64_t>(fk) << 1) |
+                            static_cast<std::uint64_t>(sk);
+  if (!reported_.insert(key).second) return;  // already reported this shape
+  race_record r;
+  r.address = addr;
+  r.first = fk;
+  r.second = sk;
+  r.first_proc = first.proc;
+  r.second_proc = current;
+  if (label != nullptr) {
+    r.location = label;
+  } else if (first.label != nullptr) {
+    r.location = first.label;
+  }
+  races_.push_back(std::move(r));
+}
+
+void detector::on_read(proc_id current, const void* addr, std::size_t size,
+                       const char* label) {
+  ++stats_.reads_checked;
+  const auto base = reinterpret_cast<std::uintptr_t>(addr);
+  for (std::size_t k = 0; k < size; ++k) {
+    shadow_cell& c = cell(base + k);
+    if (c.writer.proc != invalid_proc && bags_.in_p_bag(c.writer.proc)) {
+      report(base + k, c.writer, access_kind::write, current, access_kind::read,
+             label);
+    }
+    // Keep the reader most likely to expose future races: replace only a
+    // reader that is serial w.r.t. the current strand (SP-bags' rule).
+    if (c.reader.proc == invalid_proc || !bags_.in_p_bag(c.reader.proc)) {
+      c.reader.proc = current;
+      c.reader.locks = held_;
+      c.reader.label = label;
+    }
+  }
+}
+
+void detector::on_write(proc_id current, const void* addr, std::size_t size,
+                        const char* label) {
+  ++stats_.writes_checked;
+  const auto base = reinterpret_cast<std::uintptr_t>(addr);
+  for (std::size_t k = 0; k < size; ++k) {
+    shadow_cell& c = cell(base + k);
+    if (c.reader.proc != invalid_proc && bags_.in_p_bag(c.reader.proc)) {
+      report(base + k, c.reader, access_kind::read, current, access_kind::write,
+             label);
+    }
+    if (c.writer.proc != invalid_proc && bags_.in_p_bag(c.writer.proc)) {
+      report(base + k, c.writer, access_kind::write, current, access_kind::write,
+             label);
+    }
+    c.writer.proc = current;
+    c.writer.locks = held_;
+    c.writer.label = label;
+  }
+}
+
+lock_id detector::register_lock() { return next_lock_++; }
+
+void detector::lock_acquired(lock_id id) {
+  for (lock_id h : held_) {
+    CILKPP_ASSERT(h != id, "lock acquired twice (not recursive)");
+  }
+  held_.push_back(id);
+}
+
+void detector::lock_released(lock_id id) {
+  for (std::size_t i = 0; i < held_.size(); ++i) {
+    if (held_[i] == id) {
+      held_[i] = held_.back();
+      held_.pop_back();
+      return;
+    }
+  }
+  CILKPP_UNREACHABLE("releasing a lock that is not held");
+}
+
+}  // namespace cilkpp::screen

@@ -1,0 +1,70 @@
+#include "cilkscreen/order_maintenance.hpp"
+
+#include "support/assert.hpp"
+
+namespace cilkpp::screen {
+
+om_list::node* om_list::allocate() {
+  nodes_.emplace_back();
+  return &nodes_.back();
+}
+
+om_list::node* om_list::insert_first() {
+  CILKPP_ASSERT(head_ == nullptr, "insert_first on a nonempty list");
+  node* n = allocate();
+  n->label = label_end / 2;
+  head_ = tail_ = n;
+  return n;
+}
+
+om_list::node* om_list::insert_after(node* x) {
+  CILKPP_ASSERT(x != nullptr, "insert_after(null)");
+  node* n = allocate();
+  n->prev = x;
+  n->next = x->next;
+  if (x->next != nullptr) {
+    x->next->prev = n;
+  } else {
+    tail_ = n;
+  }
+  x->next = n;
+
+  const std::uint64_t lo = x->label;
+  const std::uint64_t hi = n->next != nullptr ? n->next->label : label_end;
+  if (hi - lo < 2) {
+    relabel();
+  } else {
+    n->label = lo + (hi - lo) / 2;
+  }
+  return n;
+}
+
+om_list::node* om_list::insert_before(node* x) {
+  CILKPP_ASSERT(x != nullptr, "insert_before(null)");
+  if (x->prev != nullptr) return insert_after(x->prev);
+
+  node* n = allocate();
+  n->next = x;
+  x->prev = n;
+  head_ = n;
+  if (x->label < 2) {
+    relabel();
+  } else {
+    n->label = x->label / 2;
+  }
+  return n;
+}
+
+void om_list::relabel() {
+  ++relabels_;
+  const auto count = static_cast<std::uint64_t>(nodes_.size());
+  const std::uint64_t stride = label_end / (count + 1);
+  CILKPP_ASSERT(stride >= 2, "order-maintenance list label space exhausted");
+  std::uint64_t label = stride;
+  for (node* n = head_; n != nullptr; n = n->next) {
+    n->label = label;
+    label += stride;
+  }
+}
+
+}  // namespace cilkpp::screen

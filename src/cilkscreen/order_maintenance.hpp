@@ -1,0 +1,63 @@
+// Order-maintenance list: the data structure behind the SP-order algorithm
+// (Bender, Fineman, Gilbert & Leiserson, SPAA'04 — the paper's ref [2]).
+//
+// Supports insert-after(x), insert-before(x), and precedes(x, y) queries.
+// Implementation: a doubly-linked list whose nodes carry 64-bit labels;
+// an insertion takes the midpoint of its neighbors' labels, and when a gap
+// is exhausted the whole list is relabeled with even spacing — O(n) but
+// amortized away by the exponential label space (the textbook two-level
+// structure would make relabeling O(lg n) amortized; the interface is the
+// same, and detector workloads relabel rarely).
+//
+// Nodes are owned by the list and stable (deque storage): handles remain
+// valid for the list's lifetime.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+namespace cilkpp::screen {
+
+class om_list {
+ public:
+  struct node {
+    std::uint64_t label = 0;
+    node* prev = nullptr;
+    node* next = nullptr;
+  };
+
+  om_list() = default;
+  om_list(const om_list&) = delete;
+  om_list& operator=(const om_list&) = delete;
+
+  /// Creates the first node (list must be empty).
+  node* insert_first();
+
+  /// Inserts a new node immediately after x.
+  node* insert_after(node* x);
+
+  /// Inserts a new node immediately before x.
+  node* insert_before(node* x);
+
+  /// Does x come before y in the order? (x == y → false.)
+  static bool precedes(const node* x, const node* y) {
+    return x->label < y->label;
+  }
+
+  std::size_t size() const { return nodes_.size(); }
+  std::uint64_t relabel_count() const { return relabels_; }
+
+ private:
+  node* allocate();
+  /// Evenly respaces all labels; called when an insertion finds no gap.
+  void relabel();
+
+  static constexpr std::uint64_t label_end = ~std::uint64_t{0};
+
+  std::deque<node> nodes_;
+  node* head_ = nullptr;
+  node* tail_ = nullptr;
+  std::uint64_t relabels_ = 0;
+};
+
+}  // namespace cilkpp::screen

@@ -1,0 +1,67 @@
+// Shadow memory shared by the race-detection engines: an open-addressed
+// hash table mapping instrumented byte addresses to per-engine cells.
+// Linear probing, power-of-two capacity, grow at 70% load.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace cilkpp::screen {
+
+template <typename Cell>
+class shadow_table {
+ public:
+  explicit shadow_table(std::size_t initial_capacity = 1 << 12)
+      : slots_(round_up(initial_capacity)) {}
+
+  /// Cell for the byte; creates a default cell on first touch.
+  /// The reference is invalidated by the next lookup (growth may move it).
+  Cell& cell(std::uintptr_t byte) {
+    CILKPP_ASSERT(byte != 0, "null address instrumented");
+    if (used_ * 10 >= slots_.size() * 7) grow();
+    std::size_t i = hash(byte) & (slots_.size() - 1);
+    while (slots_[i].first != 0 && slots_[i].first != byte) {
+      i = (i + 1) & (slots_.size() - 1);
+    }
+    if (slots_[i].first == 0) {
+      slots_[i].first = byte;
+      ++used_;
+    }
+    return slots_[i].second;
+  }
+
+  std::size_t touched_bytes() const { return used_; }
+
+ private:
+  static std::size_t round_up(std::size_t n) {
+    std::size_t p = 16;
+    while (p < n) p <<= 1;
+    return p;
+  }
+
+  static std::size_t hash(std::uintptr_t byte) {
+    std::uint64_t z = static_cast<std::uint64_t>(byte);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>(z ^ (z >> 31));
+  }
+
+  void grow() {
+    std::vector<std::pair<std::uintptr_t, Cell>> old(slots_.size() * 2);
+    old.swap(slots_);
+    for (auto& [addr, c] : old) {
+      if (addr == 0) continue;
+      std::size_t i = hash(addr) & (slots_.size() - 1);
+      while (slots_[i].first != 0) i = (i + 1) & (slots_.size() - 1);
+      slots_[i] = {addr, std::move(c)};
+    }
+  }
+
+  std::vector<std::pair<std::uintptr_t, Cell>> slots_;
+  std::size_t used_ = 0;
+};
+
+}  // namespace cilkpp::screen

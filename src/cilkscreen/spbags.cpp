@@ -1,0 +1,100 @@
+#include "cilkscreen/spbags.hpp"
+
+#include "support/assert.hpp"
+
+namespace cilkpp::screen {
+
+sp_bags::sp_bags() = default;
+
+proc_id sp_bags::create_root() {
+  CILKPP_ASSERT(parent_.empty(), "root procedure already exists");
+  return enter_procedure(invalid_proc);
+}
+
+proc_id sp_bags::enter_procedure(proc_id parent) {
+  (void)parent;  // recorded by the caller (detector); bags do not need it
+  const proc_id id = static_cast<proc_id>(parent_.size());
+  parent_.push_back(id);
+  rank_.push_back(0);
+  tag_.push_back(bag_kind::s_bag);  // S_F = {F}
+  s_bag_of_.push_back(id);
+  p_bag_of_.push_back(invalid_proc);  // P_F = {}
+  return id;
+}
+
+proc_id sp_bags::find(proc_id x) {
+  proc_id root = x;
+  while (parent_[root] != root) root = parent_[root];
+  while (parent_[x] != root) {  // path compression
+    const proc_id next = parent_[x];
+    parent_[x] = root;
+    x = next;
+  }
+  return root;
+}
+
+proc_id sp_bags::link(proc_id into_root, proc_id from_root, bag_kind kind) {
+  CILKPP_ASSERT(into_root != from_root, "linking a set with itself");
+  proc_id root, child;
+  if (rank_[into_root] >= rank_[from_root]) {
+    root = into_root;
+    child = from_root;
+  } else {
+    root = from_root;
+    child = into_root;
+  }
+  parent_[child] = root;
+  if (rank_[into_root] == rank_[from_root]) ++rank_[root];
+  tag_[root] = kind;
+  return root;
+}
+
+namespace {
+// Bag handles may be invalid (empty bag); merging handles must cope.
+}  // namespace
+
+void sp_bags::return_spawned(proc_id parent, proc_id child) {
+  // P_parent ∪= S_child ∪ P_child.
+  proc_id acc = p_bag_of_[parent] == invalid_proc ? invalid_proc
+                                                  : find(p_bag_of_[parent]);
+  for (const proc_id handle : {s_bag_of_[child], p_bag_of_[child]}) {
+    if (handle == invalid_proc) continue;
+    const proc_id root = find(handle);
+    if (acc == invalid_proc) {
+      acc = root;
+      tag_[acc] = bag_kind::p_bag;
+    } else if (acc != root) {
+      acc = link(acc, root, bag_kind::p_bag);
+    }
+  }
+  p_bag_of_[parent] = acc;
+}
+
+void sp_bags::return_called(proc_id parent, proc_id child) {
+  // S_parent ∪= S_child ∪ P_child: a plain call is serial before the rest
+  // of the parent.
+  proc_id acc = find(s_bag_of_[parent]);
+  for (const proc_id handle : {s_bag_of_[child], p_bag_of_[child]}) {
+    if (handle == invalid_proc) continue;
+    const proc_id root = find(handle);
+    if (acc != root) acc = link(acc, root, bag_kind::s_bag);
+  }
+  tag_[acc] = bag_kind::s_bag;
+  s_bag_of_[parent] = acc;
+}
+
+void sp_bags::sync(proc_id f) {
+  if (p_bag_of_[f] == invalid_proc) return;
+  const proc_id s = find(s_bag_of_[f]);
+  const proc_id p = find(p_bag_of_[f]);
+  s_bag_of_[f] = (s == p) ? s : link(s, p, bag_kind::s_bag);
+  tag_[find(s_bag_of_[f])] = bag_kind::s_bag;
+  p_bag_of_[f] = invalid_proc;
+}
+
+bool sp_bags::in_p_bag(proc_id x) {
+  CILKPP_ASSERT(x < parent_.size(), "unknown procedure");
+  return tag_[find(x)] == bag_kind::p_bag;
+}
+
+}  // namespace cilkpp::screen

@@ -1,0 +1,168 @@
+#include "cilkscreen/sporder.hpp"
+
+#include "support/assert.hpp"
+
+namespace cilkpp::screen {
+
+order_detector::order_detector() {
+  frame root;
+  root.cur_e = english_.insert_first();
+  root.cur_h = hebrew_.insert_first();
+  frames_.push_back(root);
+  stats_.procedures = 1;
+}
+
+proc_id order_detector::enter_spawn(proc_id parent) {
+  CILKPP_ASSERT(parent < frames_.size(), "unknown frame");
+  ++stats_.procedures;
+  frame child;
+  {
+    frame& p = frames_[parent];
+    if (p.block_join == nullptr) {
+      // First spawn of this sync block: pre-create the post-sync strand's
+      // H node so children can pile up in reverse order before it.
+      p.block_join = hebrew_.insert_after(p.cur_h);
+      p.last_child_h = p.block_join;
+    }
+    // Child strand: E right after the parent's current strand; H reversed —
+    // immediately before the previous child (or the join).
+    child.cur_e = english_.insert_after(p.cur_e);
+    child.cur_h = hebrew_.insert_before(p.last_child_h);
+    p.last_child_h = child.cur_h;
+    // Parent's continuation strand: E after the child's interval start,
+    // H after the old current strand (still before every child).
+    p.cur_e = english_.insert_after(child.cur_e);
+    p.cur_h = hebrew_.insert_after(p.cur_h);
+  }
+  frames_.push_back(child);
+  return static_cast<proc_id>(frames_.size() - 1);
+}
+
+void order_detector::exit_spawn(proc_id parent, proc_id child) {
+  // The child's strands keep their positions inside its E/H intervals;
+  // nothing moves at return.
+  (void)parent;
+  (void)child;
+}
+
+proc_id order_detector::enter_call(proc_id parent) {
+  CILKPP_ASSERT(parent < frames_.size(), "unknown frame");
+  ++stats_.procedures;
+  // A called frame continues the caller's current strand; it only scopes
+  // its own sync blocks.
+  frame child;
+  child.cur_e = frames_[parent].cur_e;
+  child.cur_h = frames_[parent].cur_h;
+  frames_.push_back(child);
+  return static_cast<proc_id>(frames_.size() - 1);
+}
+
+void order_detector::exit_call(proc_id parent, proc_id child) {
+  // Implicit sync of the callee, then the caller resumes the callee's
+  // final strand (a plain call is serial).
+  sync(child);
+  frames_[parent].cur_e = frames_[child].cur_e;
+  frames_[parent].cur_h = frames_[child].cur_h;
+}
+
+void order_detector::sync(proc_id f) {
+  CILKPP_ASSERT(f < frames_.size(), "unknown frame");
+  frame& fr = frames_[f];
+  if (fr.block_join == nullptr) return;  // no spawns since the last sync
+  fr.cur_h = fr.block_join;
+  fr.cur_e = english_.insert_after(fr.cur_e);
+  fr.block_join = nullptr;
+  fr.last_child_h = nullptr;
+}
+
+bool order_detector::locks_disjoint(const lockset& a) const {
+  for (const lock_id x : a)
+    for (const lock_id y : held_)
+      if (x == y) return false;
+  return true;
+}
+
+void order_detector::report(std::uintptr_t addr, const access_info& first,
+                            access_kind fk, access_kind sk, const char* label) {
+  if (!locks_disjoint(first.locks)) {
+    ++stats_.races_lock_suppressed;
+    return;
+  }
+  ++stats_.races_found;
+  if (races_.size() >= max_reports) return;
+  const std::uint64_t key = (static_cast<std::uint64_t>(addr) << 2) |
+                            (static_cast<std::uint64_t>(fk) << 1) |
+                            static_cast<std::uint64_t>(sk);
+  if (!reported_.insert(key).second) return;
+  race_record r;
+  r.address = addr;
+  r.first = fk;
+  r.second = sk;
+  if (label != nullptr) {
+    r.location = label;
+  } else if (first.label != nullptr) {
+    r.location = first.label;
+  }
+  races_.push_back(std::move(r));
+}
+
+void order_detector::on_read(proc_id current, const void* addr,
+                             std::size_t size, const char* label) {
+  CILKPP_ASSERT(current < frames_.size(), "unknown frame");
+  ++stats_.reads_checked;
+  const frame& f = frames_[current];
+  const auto base = reinterpret_cast<std::uintptr_t>(addr);
+  for (std::size_t k = 0; k < size; ++k) {
+    shadow_cell& c = shadow_.cell(base + k);
+    if (parallel_with_current(c.writer, f)) {
+      report(base + k, c.writer, access_kind::write, access_kind::read, label);
+    }
+    // Keep the H-maximal reader: if any past reader is parallel with a
+    // future writer (i.e. H-after it), the H-maximal one is.
+    if (c.reader.h == nullptr || om_list::precedes(c.reader.h, f.cur_h)) {
+      c.reader.h = f.cur_h;
+      c.reader.locks = held_;
+      c.reader.label = label;
+    }
+  }
+}
+
+void order_detector::on_write(proc_id current, const void* addr,
+                              std::size_t size, const char* label) {
+  CILKPP_ASSERT(current < frames_.size(), "unknown frame");
+  ++stats_.writes_checked;
+  const frame& f = frames_[current];
+  const auto base = reinterpret_cast<std::uintptr_t>(addr);
+  for (std::size_t k = 0; k < size; ++k) {
+    shadow_cell& c = shadow_.cell(base + k);
+    if (parallel_with_current(c.reader, f)) {
+      report(base + k, c.reader, access_kind::read, access_kind::write, label);
+    }
+    if (parallel_with_current(c.writer, f)) {
+      report(base + k, c.writer, access_kind::write, access_kind::write, label);
+    }
+    c.writer.h = f.cur_h;
+    c.writer.locks = held_;
+    c.writer.label = label;
+  }
+}
+
+void order_detector::lock_acquired(lock_id id) {
+  for (const lock_id h : held_) {
+    CILKPP_ASSERT(h != id, "lock acquired twice (not recursive)");
+  }
+  held_.push_back(id);
+}
+
+void order_detector::lock_released(lock_id id) {
+  for (std::size_t i = 0; i < held_.size(); ++i) {
+    if (held_[i] == id) {
+      held_[i] = held_.back();
+      held_.pop_back();
+      return;
+    }
+  }
+  CILKPP_UNREACHABLE("releasing a lock that is not held");
+}
+
+}  // namespace cilkpp::screen

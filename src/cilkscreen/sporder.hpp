@@ -1,0 +1,113 @@
+// The SP-order race-detection engine (Bender, Fineman, Gilbert & Leiserson,
+// SPAA'04 — the paper's ref [2] for "on-the-fly maintenance of
+// series-parallel relationships").
+//
+// Two order-maintenance lists are kept over *strands*:
+//   English order E — the serial execution order (spawned child's subtree
+//                     before the continuation);
+//   Hebrew  order H — the mirror order (continuation strands before the
+//                     spawned children's subtrees, children reversed).
+// Strand x precedes strand y iff x comes before y in BOTH orders; since
+// execution is serial (every remembered access is E-before the current
+// strand), x runs logically in parallel with the current strand iff x is
+// H-AFTER it — one label comparison per check, O(1).
+//
+// Insertion discipline (derived in comments below; validated against both
+// SP-bags and dag-reachability ground truth by the property tests):
+//  * first spawn of a sync block pre-creates the block's post-sync strand
+//    node j in H, immediately after the current strand;
+//  * each spawned child's H node is inserted immediately BEFORE the
+//    previous child's (or before j for the first child), giving the
+//    reversed-children Hebrew order  s0, s1, …, sk, ck, …, c1, j;
+//  * continuations extend E and H right after the current strand;
+//  * sync adopts j as the frame's current H node.
+//
+// The public surface mirrors screen::detector so basic_screen_context can
+// drive either engine.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "cilkscreen/detector.hpp"  // race_record, detector_stats, lockset
+#include "cilkscreen/order_maintenance.hpp"
+#include "cilkscreen/shadow.hpp"
+
+namespace cilkpp::screen {
+
+class order_detector {
+ public:
+  order_detector();
+
+  order_detector(const order_detector&) = delete;
+  order_detector& operator=(const order_detector&) = delete;
+
+  // --- Parallel-control events (same shape as screen::detector). ---
+  proc_id root() const { return 0; }
+  proc_id enter_spawn(proc_id parent);
+  void exit_spawn(proc_id parent, proc_id child);
+  proc_id enter_call(proc_id parent);
+  void exit_call(proc_id parent, proc_id child);
+  void sync(proc_id frame);
+
+  // --- Memory events. ---
+  void on_read(proc_id current, const void* addr, std::size_t size,
+               const char* label = nullptr);
+  void on_write(proc_id current, const void* addr, std::size_t size,
+                const char* label = nullptr);
+
+  // --- Lock events. ---
+  lock_id register_lock() { return next_lock_++; }
+  void lock_acquired(lock_id id);
+  void lock_released(lock_id id);
+
+  // --- Results. ---
+  const std::vector<race_record>& races() const { return races_; }
+  bool found_races() const { return !races_.empty(); }
+  const detector_stats& stats() const { return stats_; }
+  std::uint64_t relabel_count() const {
+    return english_.relabel_count() + hebrew_.relabel_count();
+  }
+  static constexpr std::size_t max_reports = 1000;
+
+ private:
+  struct frame {
+    om_list::node* cur_e = nullptr;
+    om_list::node* cur_h = nullptr;
+    om_list::node* block_join = nullptr;   // pre-created post-sync H node
+    om_list::node* last_child_h = nullptr; // H insertion barrier for children
+  };
+
+  struct access_info {
+    om_list::node* h = nullptr;  // H node of the accessing strand
+    lockset locks;
+    const char* label = nullptr;
+  };
+  struct shadow_cell {
+    access_info writer;
+    access_info reader;  // the H-maximal reader seen so far
+  };
+
+  /// Is the remembered access parallel with frame f's current strand?
+  bool parallel_with_current(const access_info& a, const frame& f) const {
+    return a.h != nullptr && om_list::precedes(f.cur_h, a.h);
+  }
+
+  bool locks_disjoint(const lockset& a) const;
+  void report(std::uintptr_t addr, const access_info& first, access_kind fk,
+              access_kind sk, const char* label);
+
+  om_list english_;
+  om_list hebrew_;
+  std::vector<frame> frames_;
+  shadow_table<shadow_cell> shadow_;
+  lockset held_;
+  lock_id next_lock_ = 0;
+  std::vector<race_record> races_;
+  std::unordered_set<std::uint64_t> reported_;
+  detector_stats stats_;
+};
+
+}  // namespace cilkpp::screen

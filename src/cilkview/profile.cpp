@@ -1,0 +1,73 @@
+#include "cilkview/profile.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "dag/analysis.hpp"
+#include "support/assert.hpp"
+#include "support/table.hpp"
+
+namespace cilkpp::cilkview {
+
+profile analyze_dag(const dag::graph& g, std::uint64_t burden) {
+  const dag::metrics m = dag::analyze(g);
+  profile p;
+  p.work = m.work;
+  p.span = m.span;
+  p.burden = burden;
+  p.burdened_span = dag::burdened_span(g, burden);
+  p.strands = g.num_vertices();
+  const auto indeg = g.in_degrees();
+  for (dag::vertex_id v = 0; v < g.num_vertices(); ++v) {
+    if (g.successors(v).size() >= 2) ++p.spawns;
+    if (indeg[v] >= 2) ++p.syncs;
+  }
+  return p;
+}
+
+double speedup_upper_bound(const profile& p, unsigned processors) {
+  CILKPP_ASSERT(processors > 0, "need at least one processor");
+  return std::min(static_cast<double>(processors), p.parallelism());
+}
+
+double burdened_speedup_estimate(const profile& p, unsigned processors) {
+  CILKPP_ASSERT(processors > 0, "need at least one processor");
+  if (p.work == 0) return 0.0;
+  const double t1 = static_cast<double>(p.work);
+  const double tp_estimate =
+      t1 / static_cast<double>(processors) + 2.0 * static_cast<double>(p.burdened_span);
+  return t1 / tp_estimate;
+}
+
+void print_report(std::ostream& os, const profile& p,
+                  const std::vector<unsigned>& processors,
+                  const std::vector<double>& measured) {
+  CILKPP_ASSERT(measured.empty() || measured.size() == processors.size(),
+                "measured series must match the processor list");
+  os << "Work (T1):                " << p.work << " instructions\n";
+  os << "Span (Tinf):              " << p.span << " instructions\n";
+  os << "Parallelism (T1/Tinf):    " << p.parallelism() << "\n";
+  os << "Burden per spawn/sync:    " << p.burden << "\n";
+  os << "Burdened span:            " << p.burdened_span << "\n";
+  os << "Burdened parallelism:     " << p.burdened_parallelism() << "\n";
+  os << "Spawns / syncs / strands: " << p.spawns << " / " << p.syncs << " / "
+     << p.strands << "\n";
+
+  table t = measured.empty()
+                ? table{"P", "work-law (=P)", "span-law cap", "burdened est."}
+                : table{"P", "work-law (=P)", "span-law cap", "burdened est.",
+                        "measured"};
+  for (std::size_t i = 0; i < processors.size(); ++i) {
+    const unsigned procs = processors[i];
+    if (measured.empty()) {
+      t.row(procs, static_cast<double>(procs), speedup_upper_bound(p, procs),
+            burdened_speedup_estimate(p, procs));
+    } else {
+      t.row(procs, static_cast<double>(procs), speedup_upper_bound(p, procs),
+            burdened_speedup_estimate(p, procs), measured[i]);
+    }
+  }
+  t.print(os);
+}
+
+}  // namespace cilkpp::cilkview

@@ -1,0 +1,71 @@
+// cilkview-style performance analysis (paper Sec. 3.1, Fig. 3).
+//
+//   "The Cilk++ development environment contains a performance-analysis tool
+//    that allows a programmer to analyze the work and span of an application
+//    … The performance analysis tool also provides an estimated lower bound
+//    on speedup — the lower curve in the figure — based on *burdened
+//    parallelism*, which takes into account the estimated cost of
+//    scheduling."
+//
+// The profile is computed from a recorded computation dag (dag::record):
+//   work, span               — Sec. 2's T1, T∞
+//   burdened span T̂∞         — span with a per-spawn/per-sync scheduling
+//                               burden charged (dag::burdened_span)
+//   speedup upper bound       — min(P, T1/T∞): the Work-Law line of slope 1
+//                               and the Span-Law ceiling of Fig. 3
+//   burdened speedup estimate — T1 / (T1/P + 2·T̂∞): the greedy bound of
+//                               Sec. 3.1 applied to the burdened dag, the
+//                               analyzer's pessimistic lower curve
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "dag/graph.hpp"
+
+namespace cilkpp::cilkview {
+
+struct profile {
+  std::uint64_t work = 0;           ///< T1 (instructions)
+  std::uint64_t span = 0;           ///< T∞
+  std::uint64_t burdened_span = 0;  ///< T̂∞
+  std::uint64_t burden = 0;         ///< per-event burden used
+  std::uint64_t spawns = 0;         ///< fork vertices in the dag
+  std::uint64_t syncs = 0;          ///< join vertices in the dag
+  std::uint64_t strands = 0;        ///< dag vertices
+
+  double parallelism() const {
+    return span == 0 ? 0.0 : static_cast<double>(work) / static_cast<double>(span);
+  }
+  double burdened_parallelism() const {
+    return burdened_span == 0
+               ? 0.0
+               : static_cast<double>(work) / static_cast<double>(burdened_span);
+  }
+};
+
+/// Default scheduling burden, in instructions. Cilk++'s analyzer charged on
+/// the order of 10^4 cycles per potential steal; recorded strands here are
+/// coarser, so the default is deliberately configurable per experiment.
+inline constexpr std::uint64_t default_burden = 1000;
+
+/// Analyzes a recorded dag. Precondition: acyclic.
+profile analyze_dag(const dag::graph& g, std::uint64_t burden = default_burden);
+
+/// min(P, parallelism): the tightest upper bound the Work and Span Laws
+/// allow (Fig. 3's two straight bounds).
+double speedup_upper_bound(const profile& p, unsigned processors);
+
+/// T1 / (T1/P + 2·T̂∞): the analyzer's estimated lower bound on speedup.
+double burdened_speedup_estimate(const profile& p, unsigned processors);
+
+/// Prints the Fig. 3 report: one row per processor count with the work-law
+/// line, the span-law ceiling, and the burdened estimate. `measured` (same
+/// length as `processors`) adds a measured-speedup column; pass empty to
+/// omit.
+void print_report(std::ostream& os, const profile& p,
+                  const std::vector<unsigned>& processors,
+                  const std::vector<double>& measured = {});
+
+}  // namespace cilkpp::cilkview

@@ -1,0 +1,67 @@
+#include "cilkview/scaling.hpp"
+
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace cilkpp::cilkview {
+
+double power_fit::predict(double n) const {
+  return coefficient * std::pow(n, exponent);
+}
+
+power_fit fit_power_law(const std::vector<std::pair<double, double>>& samples) {
+  CILKPP_ASSERT(samples.size() >= 2, "power-law fit needs at least two points");
+  // Ordinary least squares on (log n, log y).
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (const auto& [n, y] : samples) {
+    CILKPP_ASSERT(n > 0 && y > 0, "power-law fit needs positive samples");
+    const double lx = std::log(n);
+    const double ly = std::log(y);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+  }
+  const auto m = static_cast<double>(samples.size());
+  const double denom = m * sxx - sx * sx;
+  CILKPP_ASSERT(denom > 1e-12, "power-law fit needs distinct scales");
+
+  power_fit fit;
+  fit.exponent = (m * sxy - sx * sy) / denom;
+  const double intercept = (sy - fit.exponent * sx) / m;
+  fit.coefficient = std::exp(intercept);
+
+  // R² in log space.
+  const double mean_y = sy / m;
+  double ss_total = 0, ss_resid = 0;
+  for (const auto& [n, y] : samples) {
+    const double ly = std::log(y);
+    const double predicted = intercept + fit.exponent * std::log(n);
+    ss_total += (ly - mean_y) * (ly - mean_y);
+    ss_resid += (ly - predicted) * (ly - predicted);
+  }
+  fit.r_squared = ss_total < 1e-12 ? 1.0 : 1.0 - ss_resid / ss_total;
+  return fit;
+}
+
+double scaling_report::predicted_parallelism(double n) const {
+  return work.predict(n) / span.predict(n);
+}
+
+scaling_report analyze_scaling(const std::vector<scale_point>& points) {
+  std::vector<std::pair<double, double>> work_samples, span_samples;
+  work_samples.reserve(points.size());
+  span_samples.reserve(points.size());
+  for (const scale_point& pt : points) {
+    work_samples.emplace_back(pt.n, static_cast<double>(pt.p.work));
+    span_samples.emplace_back(pt.n, static_cast<double>(pt.p.span));
+  }
+  scaling_report report;
+  report.work = fit_power_law(work_samples);
+  report.span = fit_power_law(span_samples);
+  report.parallelism_exponent = report.work.exponent - report.span.exponent;
+  return report;
+}
+
+}  // namespace cilkpp::cilkview

@@ -1,0 +1,48 @@
+// Asymptotic scaling analysis: fit power laws to work and span measured at
+// several input scales, and extrapolate parallelism to scales too large to
+// record (how E13 justifies the paper's "parallelism in the millions" for
+// 1000×1000 matmul from laptop-sized recordings).
+//
+// Model: work(n) ≈ a·n^α and span(n) ≈ b·n^β, fit by least squares in
+// log-log space; parallelism then grows as n^(α−β). The fit quality (R²)
+// says whether the extrapolation is trustworthy.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cilkview/profile.hpp"
+
+namespace cilkpp::cilkview {
+
+/// One measurement: a profile of the workload at input scale n.
+struct scale_point {
+  double n = 0;
+  profile p;
+};
+
+/// Result of a log-log least-squares fit y ≈ c·n^exponent.
+struct power_fit {
+  double exponent = 0;   ///< the slope in log-log space
+  double coefficient = 0;///< c
+  double r_squared = 0;  ///< fit quality in log space (1 = perfect)
+
+  double predict(double n) const;
+};
+
+/// Fits y(n) = c·n^e through the given (n, y) samples (all values > 0;
+/// at least two distinct n required).
+power_fit fit_power_law(const std::vector<std::pair<double, double>>& samples);
+
+struct scaling_report {
+  power_fit work;
+  power_fit span;
+  /// parallelism(n) ≈ (work.c/span.c)·n^(work.e − span.e).
+  double parallelism_exponent = 0;
+  double predicted_parallelism(double n) const;
+};
+
+/// Fits work and span laws through profiles measured at several scales.
+scaling_report analyze_scaling(const std::vector<scale_point>& points);
+
+}  // namespace cilkpp::cilkview

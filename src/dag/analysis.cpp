@@ -1,0 +1,136 @@
+#include "dag/analysis.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace cilkpp::dag {
+
+namespace {
+
+/// Longest-path-ending-at-v weights for all v, in one topological pass.
+/// `extra(v)` is an additional charge added when the path passes through v.
+template <typename ExtraFn>
+std::vector<std::uint64_t> finish_weights(const graph& g, ExtraFn extra) {
+  const auto order = g.topological_order();
+  CILKPP_ASSERT(order.size() == g.num_vertices() || g.num_vertices() == 0,
+                "analysis requires an acyclic graph");
+  std::vector<std::uint64_t> finish(g.num_vertices(), 0);
+  for (vertex_id v : order) {
+    finish[v] += g.vertex_work(v) + extra(v);
+    for (vertex_id s : g.successors(v)) finish[s] = std::max(finish[s], finish[v]);
+  }
+  return finish;
+}
+
+}  // namespace
+
+metrics analyze(const graph& g) {
+  metrics m;
+  for (vertex_id v = 0; v < g.num_vertices(); ++v) m.work += g.vertex_work(v);
+  const auto finish = finish_weights(g, [](vertex_id) { return std::uint64_t{0}; });
+  for (std::uint64_t f : finish) m.span = std::max(m.span, f);
+  return m;
+}
+
+std::vector<vertex_id> critical_path(const graph& g) {
+  if (g.num_vertices() == 0) return {};
+  const auto finish = finish_weights(g, [](vertex_id) { return std::uint64_t{0}; });
+
+  // Walk backwards from the heaviest sink, at each step choosing the
+  // predecessor whose finish weight accounts for ours. Predecessor lists are
+  // not stored, so build a reverse adjacency once.
+  std::vector<small_vector<vertex_id, 2>> preds(g.num_vertices());
+  for (vertex_id v = 0; v < g.num_vertices(); ++v)
+    for (vertex_id s : g.successors(v)) preds[s].push_back(v);
+
+  vertex_id cur = 0;
+  for (vertex_id v = 1; v < g.num_vertices(); ++v)
+    if (finish[v] > finish[cur]) cur = v;
+
+  std::vector<vertex_id> path{cur};
+  while (true) {
+    const std::uint64_t need = finish[cur] - g.vertex_work(cur);
+    if (need == 0 && preds[cur].empty()) break;
+    vertex_id next = invalid_vertex;
+    for (vertex_id p : preds[cur]) {
+      if (finish[p] == need) {
+        next = p;
+        break;
+      }
+    }
+    if (next == invalid_vertex) break;  // need == 0 with lighter preds: start here
+    path.push_back(next);
+    cur = next;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+double work_law_bound(const metrics& m, unsigned processors) {
+  CILKPP_ASSERT(processors > 0, "need at least one processor");
+  return static_cast<double>(m.work) / static_cast<double>(processors);
+}
+
+double span_law_bound(const metrics& m) { return static_cast<double>(m.span); }
+
+double lower_bound_tp(const metrics& m, unsigned processors) {
+  return std::max(work_law_bound(m, processors), span_law_bound(m));
+}
+
+double speedup_upper_bound(const metrics& m, unsigned processors) {
+  return std::min(static_cast<double>(processors), m.parallelism());
+}
+
+double amdahl_speedup(double parallel_fraction, unsigned processors) {
+  CILKPP_ASSERT(parallel_fraction >= 0.0 && parallel_fraction <= 1.0,
+                "parallel fraction must be in [0,1]");
+  CILKPP_ASSERT(processors > 0, "need at least one processor");
+  const double serial = 1.0 - parallel_fraction;
+  return 1.0 / (serial + parallel_fraction / static_cast<double>(processors));
+}
+
+double amdahl_limit(double parallel_fraction) {
+  CILKPP_ASSERT(parallel_fraction >= 0.0 && parallel_fraction <= 1.0,
+                "parallel fraction must be in [0,1]");
+  if (parallel_fraction == 1.0) return std::numeric_limits<double>::infinity();
+  return 1.0 / (1.0 - parallel_fraction);
+}
+
+bool precedes(const graph& g, vertex_id x, vertex_id y) {
+  CILKPP_ASSERT(x < g.num_vertices() && y < g.num_vertices(), "vertex does not exist");
+  if (x == y) return false;
+  std::vector<bool> seen(g.num_vertices(), false);
+  std::vector<vertex_id> stack{x};
+  seen[x] = true;
+  while (!stack.empty()) {
+    const vertex_id v = stack.back();
+    stack.pop_back();
+    for (vertex_id s : g.successors(v)) {
+      if (s == y) return true;
+      if (!seen[s]) {
+        seen[s] = true;
+        stack.push_back(s);
+      }
+    }
+  }
+  return false;
+}
+
+bool in_parallel(const graph& g, vertex_id x, vertex_id y) {
+  return x != y && !precedes(g, x, y) && !precedes(g, y, x);
+}
+
+std::uint64_t burdened_span(const graph& g, std::uint64_t burden) {
+  const auto deg = g.in_degrees();
+  const auto finish = finish_weights(g, [&](vertex_id v) {
+    const bool spawns = g.successors(v).size() >= 2;  // continuation may be stolen
+    const bool syncs = deg[v] >= 2;                   // join may suspend/resume
+    return (spawns || syncs) ? burden : std::uint64_t{0};
+  });
+  std::uint64_t result = 0;
+  for (std::uint64_t f : finish) result = std::max(result, f);
+  return result;
+}
+
+}  // namespace cilkpp::dag

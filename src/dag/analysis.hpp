@@ -1,0 +1,64 @@
+// Work/span analysis of computation dags (paper Sec. 2.1–2.3).
+//
+//   work T1   — total instructions over all strands
+//   span T∞   — weight of the longest (critical) path
+//   parallelism = T1 / T∞
+//
+// plus the laws the paper states:
+//   Work Law  (1):  T_P ≥ T1 / P
+//   Span Law  (2):  T_P ≥ T∞
+// and Amdahl's Law as the special case the dag model subsumes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dag/graph.hpp"
+
+namespace cilkpp::dag {
+
+struct metrics {
+  std::uint64_t work = 0;  ///< T1
+  std::uint64_t span = 0;  ///< T∞
+  /// T1 / T∞; defined as 0 for the empty dag.
+  double parallelism() const {
+    return span == 0 ? 0.0 : static_cast<double>(work) / static_cast<double>(span);
+  }
+};
+
+/// Computes T1 and T∞ in one topological pass. Precondition: acyclic.
+metrics analyze(const graph& g);
+
+/// One maximal-weight path (the critical path), source to sink, as vertex
+/// ids in execution order. Empty for the empty dag. Precondition: acyclic.
+std::vector<vertex_id> critical_path(const graph& g);
+
+/// Work Law: best possible P-processor time from the work bound.
+double work_law_bound(const metrics& m, unsigned processors);
+/// Span Law: best possible time regardless of processor count.
+double span_law_bound(const metrics& m);
+/// max of both laws — the model's true lower bound on T_P.
+double lower_bound_tp(const metrics& m, unsigned processors);
+/// Upper bound on speedup implied by both laws: min(P, parallelism).
+double speedup_upper_bound(const metrics& m, unsigned processors);
+
+/// Amdahl's Law (paper Sec. 2): speedup ≤ 1 / ((1-p) + p/P), with the
+/// familiar limit 1/(1-p) as P → ∞. p is the parallelizable fraction.
+double amdahl_speedup(double parallel_fraction, unsigned processors);
+double amdahl_limit(double parallel_fraction);
+
+/// Reachability: does x precede y (x ≺ y), i.e. is there a path x → y?
+/// O(V+E) BFS; intended for tests and the Fig. 2 experiment, not hot paths.
+bool precedes(const graph& g, vertex_id x, vertex_id y);
+
+/// x ‖ y: neither x ≺ y nor y ≺ x (and x != y).
+bool in_parallel(const graph& g, vertex_id x, vertex_id y);
+
+/// Burdened span (paper Sec. 3.1 / Fig. 3 lower curve): the span of the dag
+/// where every vertex with out-degree ≥ 2 (a spawn, whose continuation may
+/// be stolen) and every vertex with in-degree ≥ 2 (a sync, which may suspend)
+/// is charged an extra `burden` instructions on the path through it. This is
+/// the cilkview-style estimate of scheduling cost along the critical path.
+std::uint64_t burdened_span(const graph& g, std::uint64_t burden);
+
+}  // namespace cilkpp::dag

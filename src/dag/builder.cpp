@@ -1,0 +1,93 @@
+#include "dag/builder.hpp"
+
+#include "support/assert.hpp"
+
+namespace cilkpp::dag {
+
+sp_builder::sp_builder() {
+  frames_.push_back(frame{g_.add_vertex(0), {}});
+}
+
+void sp_builder::begin_call() {
+  // The callee shares the caller's current strand; vertices it creates get
+  // the callee's activation depth.
+  frames_.push_back(frame{frames_.back().current, {}});
+}
+
+void sp_builder::end_call() {
+  CILKPP_ASSERT(frames_.size() > 1, "end_call without matching begin_call");
+  sync();  // implicit sync before a Cilk function returns
+  const vertex_id resumed = frames_.back().current;
+  frames_.pop_back();
+  frames_.back().current = resumed;
+}
+
+void sp_builder::account(std::uint64_t units) {
+  frame& f = frames_.back();
+  g_.set_vertex_work(f.current, g_.vertex_work(f.current) + units);
+}
+
+void sp_builder::begin_spawn() {
+  frame& parent = frames_.back();
+  const vertex_id before = parent.current;
+  const vertex_id child_entry = g_.add_vertex(0);
+  const vertex_id continuation = g_.add_vertex(0);
+  g_.add_edge(before, child_entry);
+  g_.add_edge(before, continuation);
+  const auto parent_depth = g_.vertex_depth(before);
+  g_.set_vertex_depth(continuation, parent_depth);
+  g_.set_vertex_depth(child_entry, parent_depth + 1);
+  parent.current = continuation;
+  frames_.push_back(frame{child_entry, {}});
+  ++spawn_count_;
+}
+
+void sp_builder::end_spawn() {
+  CILKPP_ASSERT(frames_.size() > 1, "end_spawn without matching begin_spawn");
+  sync();  // implicit sync before a Cilk function returns
+  const vertex_id child_tail = frames_.back().current;
+  frames_.pop_back();
+  frames_.back().pending_tails.push_back(child_tail);
+}
+
+void sp_builder::sync() {
+  frame& f = frames_.back();
+  if (f.pending_tails.empty()) return;  // no-op sync, no join vertex needed
+  const vertex_id join = g_.add_vertex(0);
+  g_.set_vertex_depth(join, g_.vertex_depth(f.current));
+  g_.add_edge(f.current, join);
+  for (vertex_id tail : f.pending_tails) g_.add_edge(tail, join);
+  f.pending_tails.clear();
+  f.current = join;
+}
+
+void sp_builder::begin_locked(std::uint32_t lock) {
+  CILKPP_ASSERT(!in_locked_section_, "locked sections do not nest");
+  in_locked_section_ = true;
+  frame& f = frames_.back();
+  const vertex_id section = g_.add_vertex(0);
+  g_.set_vertex_depth(section, g_.vertex_depth(f.current));
+  g_.set_vertex_lock(section, lock);
+  g_.add_edge(f.current, section);
+  f.current = section;
+}
+
+void sp_builder::end_locked() {
+  CILKPP_ASSERT(in_locked_section_, "end_locked outside a locked section");
+  in_locked_section_ = false;
+  frame& f = frames_.back();
+  const vertex_id resumed = g_.add_vertex(0);
+  g_.set_vertex_depth(resumed, g_.vertex_depth(f.current));
+  g_.add_edge(f.current, resumed);
+  f.current = resumed;
+}
+
+vertex_id sp_builder::current() const { return frames_.back().current; }
+
+graph sp_builder::finish() && {
+  CILKPP_ASSERT(frames_.size() == 1, "finish with open spawned frames");
+  sync();  // implicit sync of the root function
+  return std::move(g_);
+}
+
+}  // namespace cilkpp::dag

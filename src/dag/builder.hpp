@@ -1,0 +1,84 @@
+// Series-parallel dag builder mirroring the Cilk++ keywords (paper Sec. 2):
+//
+//   "A cilk_spawn of a function creates two dependency edges emanating from
+//    the instruction immediately before the cilk_spawn: one edge goes to the
+//    first instruction of the spawned function, and the other goes to the
+//    first instruction after the spawned function. A cilk_sync creates
+//    dependency edges from the final instruction of each spawned function to
+//    the instruction immediately after the cilk_sync."
+//
+// The builder is driven by the same spawn/sync event stream a Cilk++ program
+// produces; the workload recorders (src/workloads) replay real programs
+// through it to obtain their computation dags.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "dag/graph.hpp"
+
+namespace cilkpp::dag {
+
+/// Builds an SP dag from a serial replay of spawn/sync/account events.
+/// Every Cilk function body syncs implicitly before returning (paper Sec. 1),
+/// which end_spawn() and finish() enforce.
+class sp_builder {
+ public:
+  sp_builder();
+
+  sp_builder(const sp_builder&) = delete;
+  sp_builder& operator=(const sp_builder&) = delete;
+
+  /// Charges `units` instructions to the currently executing strand.
+  void account(std::uint64_t units);
+
+  /// Enters a spawned child: seals the current strand, opens the child's
+  /// first strand, and remembers the continuation strand the parent resumes.
+  void begin_spawn();
+
+  /// Leaves the spawned child (running its implicit sync first) and resumes
+  /// the parent's continuation strand.
+  void end_spawn();
+
+  /// Enters a plain call of a Cilk function: no new vertices (the strand
+  /// continues), but the callee's syncs join only its own children.
+  void begin_call();
+
+  /// Leaves the called function (running its implicit sync first).
+  void end_call();
+
+  /// cilk_sync: joins all children spawned by the current function instance
+  /// since its last sync.
+  void sync();
+
+  /// Enters a critical section of the given mutex: subsequent account()
+  /// charges go to a strand the simulator executes under mutual exclusion.
+  /// Sections do not nest.
+  void begin_locked(std::uint32_t lock);
+  /// Leaves the critical section and resumes an ordinary strand.
+  void end_locked();
+
+  /// Number of spawns recorded so far (used by burden estimation and tests).
+  std::uint64_t spawn_count() const { return spawn_count_; }
+
+  /// Vertex currently being extended by account(); exposed for tests.
+  vertex_id current() const;
+
+  /// Runs the implicit sync of the root function and returns the dag.
+  /// The builder must be back at the root frame (every begin_spawn matched).
+  graph finish() &&;
+
+ private:
+  struct frame {
+    vertex_id current;                      // strand being executed
+    std::vector<vertex_id> pending_tails;   // final strands of unjoined children
+  };
+
+  graph g_;
+  std::vector<frame> frames_;
+  std::uint64_t spawn_count_ = 0;
+  bool in_locked_section_ = false;
+};
+
+}  // namespace cilkpp::dag

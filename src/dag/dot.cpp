@@ -1,0 +1,43 @@
+#include "dag/dot.hpp"
+
+#include <ostream>
+#include <vector>
+
+#include "dag/analysis.hpp"
+
+namespace cilkpp::dag {
+
+void write_dot(std::ostream& os, const graph& g, const dot_options& options) {
+  std::vector<bool> on_path(g.num_vertices(), false);
+  std::vector<vertex_id> path;
+  if (options.highlight_critical_path && g.num_vertices() > 0) {
+    path = critical_path(g);
+    for (vertex_id v : path) on_path[v] = true;
+  }
+
+  os << "digraph \"" << options.name << "\" {\n";
+  os << "  rankdir=TB;\n  node [shape=circle];\n";
+  for (vertex_id v = 0; v < g.num_vertices(); ++v) {
+    os << "  n" << v << " [label=\"" << (v + 1);
+    if (options.show_work) os << "\\nw=" << g.vertex_work(v);
+    os << "\"";
+    if (on_path[v]) os << ", style=filled, fillcolor=lightcoral";
+    os << "];\n";
+  }
+  // Critical-path edges follow consecutive path vertices; highlight those.
+  auto path_edge = [&](vertex_id a, vertex_id b) {
+    for (std::size_t i = 0; i + 1 < path.size(); ++i)
+      if (path[i] == a && path[i + 1] == b) return true;
+    return false;
+  };
+  for (vertex_id v = 0; v < g.num_vertices(); ++v) {
+    for (vertex_id s : g.successors(v)) {
+      os << "  n" << v << " -> n" << s;
+      if (path_edge(v, s)) os << " [color=red, penwidth=2]";
+      os << ";\n";
+    }
+  }
+  os << "}\n";
+}
+
+}  // namespace cilkpp::dag

@@ -1,0 +1,24 @@
+// Graphviz DOT export of computation dags, with the critical path
+// highlighted — the repo's equivalent of the paper's Fig. 2 drawing.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "dag/graph.hpp"
+
+namespace cilkpp::dag {
+
+struct dot_options {
+  /// Graph name emitted in the digraph header.
+  std::string name = "computation";
+  /// Color the critical path's vertices and edges.
+  bool highlight_critical_path = true;
+  /// Show per-vertex work as part of the label.
+  bool show_work = true;
+};
+
+/// Writes the dag in DOT format.
+void write_dot(std::ostream& os, const graph& g, const dot_options& options = {});
+
+}  // namespace cilkpp::dag

@@ -1,0 +1,122 @@
+#include "dag/graph.hpp"
+
+#include "support/assert.hpp"
+
+namespace cilkpp::dag {
+
+vertex_id graph::add_vertex(std::uint64_t work) {
+  CILKPP_ASSERT(work_.size() < invalid_vertex, "dag vertex count overflow");
+  work_.push_back(work);
+  depth_.push_back(0);
+  out_.emplace_back();
+  return static_cast<vertex_id>(work_.size() - 1);
+}
+
+std::uint32_t graph::vertex_depth(vertex_id v) const {
+  CILKPP_ASSERT(v < depth_.size(), "vertex does not exist");
+  return depth_[v];
+}
+
+void graph::set_vertex_depth(vertex_id v, std::uint32_t depth) {
+  CILKPP_ASSERT(v < depth_.size(), "vertex does not exist");
+  depth_[v] = depth;
+}
+
+void graph::set_vertex_lock(vertex_id v, std::uint32_t lock) {
+  CILKPP_ASSERT(v < work_.size(), "vertex does not exist");
+  CILKPP_ASSERT(lock != no_lock, "invalid lock id");
+  locks_[v] = lock;
+  if (lock + 1 > num_locks_) num_locks_ = lock + 1;
+}
+
+std::uint32_t graph::vertex_lock(vertex_id v) const {
+  CILKPP_ASSERT(v < work_.size(), "vertex does not exist");
+  const auto it = locks_.find(v);
+  return it == locks_.end() ? no_lock : it->second;
+}
+
+std::uint32_t graph::max_depth() const {
+  std::uint32_t m = 0;
+  for (std::uint32_t d : depth_)
+    if (d > m) m = d;
+  return m;
+}
+
+void graph::add_edge(vertex_id from, vertex_id to) {
+  CILKPP_ASSERT(from < work_.size() && to < work_.size(),
+                "edge endpoint does not exist");
+  CILKPP_ASSERT(from != to, "self-edge is not a dependency");
+  out_[from].push_back(to);
+  ++num_edges_;
+}
+
+std::uint64_t graph::vertex_work(vertex_id v) const {
+  CILKPP_ASSERT(v < work_.size(), "vertex does not exist");
+  return work_[v];
+}
+
+void graph::set_vertex_work(vertex_id v, std::uint64_t work) {
+  CILKPP_ASSERT(v < work_.size(), "vertex does not exist");
+  work_[v] = work;
+}
+
+const small_vector<vertex_id, 2>& graph::successors(vertex_id v) const {
+  CILKPP_ASSERT(v < out_.size(), "vertex does not exist");
+  return out_[v];
+}
+
+std::vector<std::uint32_t> graph::in_degrees() const {
+  std::vector<std::uint32_t> deg(num_vertices(), 0);
+  for (const auto& succs : out_)
+    for (vertex_id s : succs) ++deg[s];
+  return deg;
+}
+
+std::vector<vertex_id> graph::sources() const {
+  const auto deg = in_degrees();
+  std::vector<vertex_id> result;
+  for (vertex_id v = 0; v < num_vertices(); ++v)
+    if (deg[v] == 0) result.push_back(v);
+  return result;
+}
+
+std::vector<vertex_id> graph::sinks() const {
+  std::vector<vertex_id> result;
+  for (vertex_id v = 0; v < num_vertices(); ++v)
+    if (out_[v].empty()) result.push_back(v);
+  return result;
+}
+
+std::vector<vertex_id> graph::topological_order() const {
+  auto deg = in_degrees();
+  std::vector<vertex_id> order;
+  order.reserve(num_vertices());
+  std::vector<vertex_id> frontier = sources();
+  // Kahn's algorithm with an explicit stack; order within a level is
+  // unspecified but deterministic (LIFO on discovery).
+  while (!frontier.empty()) {
+    const vertex_id v = frontier.back();
+    frontier.pop_back();
+    order.push_back(v);
+    for (vertex_id s : out_[v]) {
+      if (--deg[s] == 0) frontier.push_back(s);
+    }
+  }
+  if (order.size() != num_vertices()) order.clear();  // cycle detected
+  return order;
+}
+
+bool graph::is_acyclic() const {
+  return num_vertices() == 0 || !topological_order().empty();
+}
+
+std::size_t graph::memory_footprint() const {
+  std::size_t bytes = work_.size() * sizeof(std::uint64_t) +
+                      depth_.size() * sizeof(std::uint32_t) +
+                      out_.size() * sizeof(small_vector<vertex_id, 2>);
+  for (const auto& succs : out_)
+    if (succs.capacity() > 2) bytes += succs.capacity() * sizeof(vertex_id);
+  return bytes;
+}
+
+}  // namespace cilkpp::dag

@@ -1,0 +1,87 @@
+// The dag model of multithreading (paper Sec. 2, Fig. 2).
+//
+// A computation is a directed acyclic graph whose vertices are *strands* —
+// maximal sequences of serially executed instructions with no parallel
+// control — and whose edges are ordering dependencies. Each vertex carries a
+// weight: the number of unit-cost instructions in the strand (Fig. 2 uses
+// weight-1 vertices; recorded workloads use longer strands).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "support/small_vector.hpp"
+
+namespace cilkpp::dag {
+
+using vertex_id = std::uint32_t;
+inline constexpr vertex_id invalid_vertex = std::numeric_limits<vertex_id>::max();
+
+/// Mutable weighted dag with forward adjacency. Vertices are added with an
+/// instruction-count weight; edges express "must complete before".
+class graph {
+ public:
+  /// Adds an isolated vertex of the given weight (instructions); weight 0 is
+  /// allowed for pure synchronization points.
+  vertex_id add_vertex(std::uint64_t work);
+
+  /// Adds the dependency edge from → to ("from must complete before to").
+  /// Both endpoints must already exist; self-edges are rejected.
+  void add_edge(vertex_id from, vertex_id to);
+
+  std::size_t num_vertices() const { return work_.size(); }
+  std::size_t num_edges() const { return num_edges_; }
+
+  std::uint64_t vertex_work(vertex_id v) const;
+  void set_vertex_work(vertex_id v, std::uint64_t work);
+
+  /// Activation depth of the frame the strand executes in (0 = root).
+  /// Set by the sp_builder; used by the simulator's stack accounting.
+  std::uint32_t vertex_depth(vertex_id v) const;
+  void set_vertex_depth(vertex_id v, std::uint32_t depth);
+  /// Maximum vertex depth — the serial-execution stack bound S1 in frames.
+  std::uint32_t max_depth() const;
+
+  /// Marks the strand as a critical section of the given mutex: the
+  /// simulator executes it under mutual exclusion (experiment E12's
+  /// contention measurements). Most strands carry no lock.
+  void set_vertex_lock(vertex_id v, std::uint32_t lock);
+  /// The strand's lock, or no_lock.
+  std::uint32_t vertex_lock(vertex_id v) const;
+  /// One past the largest lock id used (0 if none).
+  std::uint32_t num_locks() const { return num_locks_; }
+  static constexpr std::uint32_t no_lock = static_cast<std::uint32_t>(-1);
+
+  const small_vector<vertex_id, 2>& successors(vertex_id v) const;
+
+  /// In-degree of every vertex (recomputed on demand; O(V+E)).
+  std::vector<std::uint32_t> in_degrees() const;
+
+  /// Source vertices (in-degree 0) in id order.
+  std::vector<vertex_id> sources() const;
+  /// Sink vertices (out-degree 0) in id order.
+  std::vector<vertex_id> sinks() const;
+
+  /// A topological order of all vertices. Fails (returns empty) iff the
+  /// graph has a cycle; use is_acyclic() to distinguish from the empty graph.
+  std::vector<vertex_id> topological_order() const;
+
+  bool is_acyclic() const;
+
+  /// Total estimated bytes for vertices + edges (used by the stack/space
+  /// experiments to report model sizes).
+  std::size_t memory_footprint() const;
+
+ private:
+  std::vector<std::uint64_t> work_;
+  std::vector<std::uint32_t> depth_;
+  std::vector<small_vector<vertex_id, 2>> out_;
+  std::unordered_map<vertex_id, std::uint32_t> locks_;  // sparse: most strands lock-free
+  std::uint32_t num_locks_ = 0;
+  std::size_t num_edges_ = 0;
+};
+
+}  // namespace cilkpp::dag

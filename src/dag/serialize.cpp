@@ -1,0 +1,83 @@
+#include "dag/serialize.hpp"
+
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+namespace cilkpp::dag {
+
+void save(std::ostream& os, const graph& g) {
+  os << "cilkpp-dag 1\n";
+  os << "vertices " << g.num_vertices() << "\n";
+  for (vertex_id v = 0; v < g.num_vertices(); ++v) {
+    os << "v " << g.vertex_work(v) << ' ' << g.vertex_depth(v);
+    const std::uint32_t lock = g.vertex_lock(v);
+    if (lock == graph::no_lock) {
+      os << " -\n";
+    } else {
+      os << ' ' << lock << "\n";
+    }
+  }
+  os << "edges " << g.num_edges() << "\n";
+  for (vertex_id v = 0; v < g.num_vertices(); ++v) {
+    for (vertex_id s : g.successors(v)) os << "e " << v << ' ' << s << "\n";
+  }
+}
+
+namespace {
+
+[[noreturn]] void malformed(const std::string& what) {
+  throw std::runtime_error("cilkpp-dag parse error: " + what);
+}
+
+void expect_token(std::istream& is, const char* token) {
+  std::string word;
+  if (!(is >> word) || word != token) malformed(std::string("expected '") + token + "'");
+}
+
+}  // namespace
+
+graph load(std::istream& is) {
+  expect_token(is, "cilkpp-dag");
+  int version = 0;
+  if (!(is >> version) || version != 1) malformed("unsupported version");
+
+  expect_token(is, "vertices");
+  std::size_t vertex_count = 0;
+  if (!(is >> vertex_count)) malformed("missing vertex count");
+
+  graph g;
+  for (std::size_t i = 0; i < vertex_count; ++i) {
+    expect_token(is, "v");
+    std::uint64_t work = 0;
+    std::uint32_t depth = 0;
+    std::string lock_field;
+    if (!(is >> work >> depth >> lock_field)) malformed("truncated vertex line");
+    const vertex_id v = g.add_vertex(work);
+    g.set_vertex_depth(v, depth);
+    if (lock_field != "-") {
+      try {
+        g.set_vertex_lock(v, static_cast<std::uint32_t>(std::stoul(lock_field)));
+      } catch (const std::exception&) {
+        malformed("bad lock field '" + lock_field + "'");
+      }
+    }
+  }
+
+  expect_token(is, "edges");
+  std::size_t edge_count = 0;
+  if (!(is >> edge_count)) malformed("missing edge count");
+  for (std::size_t i = 0; i < edge_count; ++i) {
+    expect_token(is, "e");
+    vertex_id from = 0, to = 0;
+    if (!(is >> from >> to)) malformed("truncated edge line");
+    if (from >= g.num_vertices() || to >= g.num_vertices() || from == to) {
+      malformed("edge endpoints out of range");
+    }
+    g.add_edge(from, to);
+  }
+  return g;
+}
+
+}  // namespace cilkpp::dag

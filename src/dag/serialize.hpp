@@ -1,0 +1,25 @@
+// Plain-text serialization of computation dags: record a workload once,
+// store the dag, and re-run analyses/simulations later or elsewhere.
+//
+// Format (line-oriented, self-describing):
+//   cilkpp-dag 1
+//   vertices <N>
+//   v <work> <depth> <lock|-- >     (N lines, id = line order)
+//   edges <M>
+//   e <from> <to>                   (M lines)
+#pragma once
+
+#include <iosfwd>
+
+#include "dag/graph.hpp"
+
+namespace cilkpp::dag {
+
+/// Writes g to the stream.
+void save(std::ostream& os, const graph& g);
+
+/// Reads a dag previously written by save(). Throws std::runtime_error on
+/// malformed input (bad header, dangling edge, counts that do not match).
+graph load(std::istream& is);
+
+}  // namespace cilkpp::dag

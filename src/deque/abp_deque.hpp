@@ -1,0 +1,117 @@
+// Bounded lock-free work-stealing deque in the style of Arora, Blumofe &
+// Plaxton (SPAA'98) — the deque generation the original Cilk runtime's
+// THE protocol belongs to, predating Chase–Lev's growable ring.
+//
+// Differences from chase_lev_deque:
+//  * fixed capacity — push_bottom reports failure when full (the caller
+//    must execute inline or abort; the runtime uses Chase–Lev and never
+//    faces this, which is itself part of ablation E14's story);
+//  * `top` packs an ABA-avoidance tag with the index into one 64-bit word,
+//    as in the original ABP construction.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <type_traits>
+#include <vector>
+
+#include "deque/chase_lev.hpp"  // steal_result
+#include "support/cache.hpp"
+
+namespace cilkpp {
+
+template <typename T>
+class abp_deque {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "deque elements must be trivially copyable (store pointers)");
+
+ public:
+  explicit abp_deque(std::size_t capacity = 1 << 13) : slots_(capacity) {
+    top_.store(pack(0, 0), std::memory_order_relaxed);
+    bottom_.store(0, std::memory_order_relaxed);
+  }
+
+  abp_deque(const abp_deque&) = delete;
+  abp_deque& operator=(const abp_deque&) = delete;
+
+  /// Owner: push at the bottom; false if the deque is full.
+  bool push_bottom(T value) {
+    const std::uint32_t b = bottom_.load(std::memory_order_relaxed);
+    const auto [t, tag] = unpack(top_.load(std::memory_order_acquire));
+    if (b - t >= slots_.size()) return false;  // full
+    slots_[b % slots_.size()].store(value, std::memory_order_relaxed);
+    bottom_.store(b + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Owner: pop the newest entry.
+  std::optional<T> pop_bottom() {
+    std::uint32_t b = bottom_.load(std::memory_order_relaxed);
+    if (b == 0) return std::nullopt;
+    --b;
+    bottom_.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::uint64_t old_top = top_.load(std::memory_order_relaxed);
+    auto [t, tag] = unpack(old_top);
+    if (b > t) {
+      // More than one element: safe without synchronizing.
+      return slots_[b % slots_.size()].load(std::memory_order_relaxed);
+    }
+    // Zero or one element left: reset the deque, racing thieves for the
+    // last element via the tagged top.
+    bottom_.store(0, std::memory_order_relaxed);
+    const std::uint64_t fresh = pack(0, tag + 1);
+    if (b == t) {
+      T value = slots_[b % slots_.size()].load(std::memory_order_relaxed);
+      if (top_.compare_exchange_strong(old_top, fresh,
+                                       std::memory_order_seq_cst,
+                                       std::memory_order_relaxed)) {
+        return value;
+      }
+    }
+    top_.store(fresh, std::memory_order_release);
+    return std::nullopt;
+  }
+
+  /// Thief: steal the oldest entry.
+  steal_result steal(T& out) {
+    std::uint64_t old_top = top_.load(std::memory_order_acquire);
+    const auto [t, tag] = unpack(old_top);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const std::uint32_t b = bottom_.load(std::memory_order_acquire);
+    if (t >= b) return steal_result::empty;
+    T value = slots_[t % slots_.size()].load(std::memory_order_relaxed);
+    if (!top_.compare_exchange_strong(old_top, pack(t + 1, tag),
+                                      std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return steal_result::lost;
+    }
+    out = value;
+    return steal_result::success;
+  }
+
+  std::int64_t size_estimate() const {
+    const std::uint32_t b = bottom_.load(std::memory_order_relaxed);
+    const auto [t, tag] = unpack(top_.load(std::memory_order_relaxed));
+    return b > t ? static_cast<std::int64_t>(b - t) : 0;
+  }
+
+  bool empty_estimate() const { return size_estimate() == 0; }
+  std::size_t capacity() const { return slots_.size(); }
+
+ private:
+  static std::uint64_t pack(std::uint32_t index, std::uint32_t tag) {
+    return (static_cast<std::uint64_t>(tag) << 32) | index;
+  }
+  static std::pair<std::uint32_t, std::uint32_t> unpack(std::uint64_t word) {
+    return {static_cast<std::uint32_t>(word),
+            static_cast<std::uint32_t>(word >> 32)};
+  }
+
+  alignas(cache_line_size) std::atomic<std::uint64_t> top_;  // (tag, index)
+  alignas(cache_line_size) std::atomic<std::uint32_t> bottom_;
+  std::vector<std::atomic<T>> slots_;
+};
+
+}  // namespace cilkpp

@@ -1,0 +1,50 @@
+// Mutex-protected work-stealing deque with the same interface as
+// chase_lev_deque. This is the baseline for ablation E14: it is trivially
+// correct, and the benchmark quantifies what the lock-free fast path buys.
+#pragma once
+
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "deque/chase_lev.hpp"  // for steal_result
+
+namespace cilkpp {
+
+template <typename T>
+class locked_deque {
+ public:
+  void push_bottom(T value) {
+    std::lock_guard lock(mutex_);
+    items_.push_back(value);
+  }
+
+  std::optional<T> pop_bottom() {
+    std::lock_guard lock(mutex_);
+    if (items_.empty()) return std::nullopt;
+    T value = items_.back();
+    items_.pop_back();
+    return value;
+  }
+
+  steal_result steal(T& out) {
+    std::lock_guard lock(mutex_);
+    if (items_.empty()) return steal_result::empty;
+    out = items_.front();
+    items_.pop_front();
+    return steal_result::success;
+  }
+
+  std::int64_t size_estimate() const {
+    std::lock_guard lock(mutex_);
+    return static_cast<std::int64_t>(items_.size());
+  }
+
+  bool empty_estimate() const { return size_estimate() == 0; }
+
+ private:
+  mutable std::mutex mutex_;
+  std::deque<T> items_;
+};
+
+}  // namespace cilkpp

@@ -1,0 +1,159 @@
+// Monoids for reducer hyperobjects (paper Sec. 5).
+//
+// A reducer is defined over an associative operation ⊗ with identity e:
+// "This parallelization takes advantage of the fact that list appending is
+// associative." The runtime may apply ⊗ in any association, but always in
+// the serial left-to-right order of operands, so non-commutative monoids
+// (list append, string concatenation) reproduce the exact serial result.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <limits>
+#include <list>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "support/stats.hpp"
+
+namespace cilkpp::hyper {
+
+/// A monoid M provides:
+///   value_type            — the view type
+///   identity()            — the identity element e
+///   reduce(left, right)   — left := left ⊗ right (right is consumed)
+template <typename M>
+concept monoid = requires(typename M::value_type& left,
+                          typename M::value_type&& right) {
+  { M::identity() } -> std::convertible_to<typename M::value_type>;
+  { M::reduce(left, std::move(right)) };
+};
+
+/// Addition. (reducer_opadd in Cilk++.)
+template <typename T>
+struct opadd {
+  using value_type = T;
+  static value_type identity() { return T{}; }
+  static void reduce(value_type& left, value_type&& right) { left += right; }
+};
+
+/// Multiplication.
+template <typename T>
+struct opmul {
+  using value_type = T;
+  static value_type identity() { return T{1}; }
+  static void reduce(value_type& left, value_type&& right) { left *= right; }
+};
+
+/// Bitwise AND / OR / XOR over integral types.
+template <std::integral T>
+struct opand {
+  using value_type = T;
+  static value_type identity() { return static_cast<T>(~T{0}); }
+  static void reduce(value_type& left, value_type&& right) { left &= right; }
+};
+
+template <std::integral T>
+struct opor {
+  using value_type = T;
+  static value_type identity() { return T{0}; }
+  static void reduce(value_type& left, value_type&& right) { left |= right; }
+};
+
+template <std::integral T>
+struct opxor {
+  using value_type = T;
+  static value_type identity() { return T{0}; }
+  static void reduce(value_type& left, value_type&& right) { left ^= right; }
+};
+
+/// Minimum / maximum. The identity is the type's extreme value, so these
+/// require std::numeric_limits.
+template <typename T>
+struct opmin {
+  using value_type = T;
+  static value_type identity() { return std::numeric_limits<T>::max(); }
+  static void reduce(value_type& left, value_type&& right) {
+    if (right < left) left = right;
+  }
+};
+
+template <typename T>
+struct opmax {
+  using value_type = T;
+  static value_type identity() { return std::numeric_limits<T>::lowest(); }
+  static void reduce(value_type& left, value_type&& right) {
+    if (left < right) left = right;
+  }
+};
+
+/// Minimum with the position where it occurred (reducer_min_index).
+/// Ties keep the serially earliest occurrence, matching serial execution.
+template <typename Index, typename T>
+struct opmin_index {
+  struct value_type {
+    T value = std::numeric_limits<T>::max();
+    Index index{};
+    bool valid = false;
+  };
+  static value_type identity() { return {}; }
+  static void reduce(value_type& left, value_type&& right) {
+    if (!right.valid) return;
+    if (!left.valid || right.value < left.value) left = right;
+  }
+};
+
+/// List append (reducer_list_append, the paper's Fig. 7 reducer).
+/// Reduce is an O(1) splice; the folded list is element-for-element the
+/// serial execution's list.
+template <typename T>
+struct list_append {
+  using value_type = std::list<T>;
+  static value_type identity() { return {}; }
+  static void reduce(value_type& left, value_type&& right) {
+    left.splice(left.end(), right);
+  }
+};
+
+/// Vector append: like list_append but contiguous; reduce is O(|right|).
+template <typename T>
+struct vector_append {
+  using value_type = std::vector<T>;
+  static value_type identity() { return {}; }
+  static void reduce(value_type& left, value_type&& right) {
+    if (left.empty()) {
+      left = std::move(right);
+    } else {
+      left.insert(left.end(), std::make_move_iterator(right.begin()),
+                  std::make_move_iterator(right.end()));
+    }
+  }
+};
+
+/// String concatenation (reducer_string).
+struct string_concat {
+  using value_type = std::string;
+  static value_type identity() { return {}; }
+  static void reduce(value_type& left, value_type&& right) {
+    if (left.empty())
+      left = std::move(right);
+    else
+      left += right;
+  }
+};
+
+/// Streaming-statistics monoid over support/stats.hpp's accumulator:
+/// Welford merge is associative, so parallel statistics match the serial
+/// single-pass result (up to floating-point reassociation).
+struct stats_accumulate {
+  using value_type = ::cilkpp::accumulator;
+  static value_type identity() { return {}; }
+  static void reduce(value_type& left, value_type&& right) { left.merge(right); }
+};
+
+static_assert(monoid<opadd<std::int64_t>>);
+static_assert(monoid<list_append<int>>);
+static_assert(monoid<string_concat>);
+
+}  // namespace cilkpp::hyper

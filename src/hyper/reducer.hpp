@@ -1,0 +1,131 @@
+// Reducer hyperobjects (paper Sec. 5):
+//
+//   "A Cilk++ reducer hyperobject is a linguistic construct that allows many
+//    strands to coordinate in updating a shared variable or data structure
+//    independently by providing them different but coordinated views of the
+//    same object … When two or more strands join, their different views are
+//    combined according to a system- or user-defined reduce() method."
+//
+// Each strand sees a private view (created lazily, initialized to the monoid
+// identity); the runtime folds views strictly in serial order at syncs, so
+// the final value — including element order for list append — is identical
+// to the serial execution's (see tests/hyper_test.cpp's determinism sweeps).
+//
+// Usage (the paper's Fig. 7):
+//
+//   cilk::reducer<cilk::hyper::list_append<Node*>> output_list;
+//   void walk(cilk::context& ctx, Node* x) {
+//     if (!x) return;
+//     if (has_property(x)) output_list.view(ctx).push_back(x);
+//     ctx.spawn([&](cilk::context& c) { walk(c, x->left); });
+//     walk(ctx, x->right);
+//     ctx.sync();
+//   }
+//   ...after sched.run(...): output_list.value() holds the serial-order list.
+#pragma once
+
+#include <memory>
+#include <utility>
+
+#include "hyper/monoid.hpp"
+#include "runtime/hyper_iface.hpp"
+#include "support/assert.hpp"
+
+namespace cilkpp::hyper {
+
+/// Detects engines with runtime view routing (rt::context). Serial engines
+/// (elision, recorder, race detector) run strands in serial order, so the
+/// leftmost value itself is always the correct current view.
+template <typename Ctx>
+concept routes_views = requires(Ctx& ctx, rt::hyperobject_base& h) {
+  { ctx.hyper_view(h) } -> std::same_as<rt::view_base&>;
+};
+
+template <monoid M>
+class reducer final : public rt::hyperobject_base {
+ public:
+  using value_type = typename M::value_type;
+
+  /// Leftmost view starts at the identity…
+  reducer() : leftmost_(M::identity()) {}
+  /// …or at an initial value, which stays the leftmost operand of the fold
+  /// (e.g. a list with existing contents keeps them at the front).
+  explicit reducer(value_type initial) : leftmost_(std::move(initial)) {}
+
+  reducer(const reducer&) = delete;
+  reducer& operator=(const reducer&) = delete;
+
+  /// The calling strand's private view. The reference is stable until the
+  /// strand's next spawn or sync; re-fetch after either so updates land in
+  /// the correct fold position.
+  template <typename Ctx>
+  value_type& view(Ctx& ctx) {
+    if constexpr (routes_views<Ctx>) {
+      return static_cast<typed_view&>(ctx.hyper_view(*this)).value;
+    } else {
+      (void)ctx;
+      return leftmost_;
+    }
+  }
+
+  /// The fully folded value. Only meaningful when the computation that
+  /// updated this reducer has completed (scheduler::run returned).
+  value_type& value() { return leftmost_; }
+  const value_type& value() const { return leftmost_; }
+
+  /// Retires a *locally-scoped* reducer: folds the view accumulated in
+  /// ctx's frame into the leftmost value and returns the whole result,
+  /// resetting the reducer to the identity. Call after a sync that joined
+  /// every strand that updated this reducer. A reducer that is NOT
+  /// collected must outlive the scheduler::run() that updates it — its
+  /// views live in frame slots until the root absorbs them.
+  template <typename Ctx>
+  value_type collect(Ctx& ctx) {
+    if constexpr (routes_views<Ctx>) {
+      if (std::unique_ptr<rt::view_base> v = ctx.extract_view(*this)) {
+        M::reduce(leftmost_, std::move(static_cast<typed_view&>(*v).value));
+      }
+    } else {
+      (void)ctx;
+    }
+    return take();
+  }
+
+  /// Moves the value out and resets to the identity (handy between runs).
+  value_type take() {
+    value_type out = std::move(leftmost_);
+    leftmost_ = M::identity();
+    return out;
+  }
+
+  void set_value(value_type v) { leftmost_ = std::move(v); }
+
+ private:
+  struct typed_view final : rt::view_base {
+    typed_view() : value(M::identity()) {}
+    value_type value;
+  };
+
+  std::unique_ptr<rt::view_base> identity_view() const override {
+    return std::make_unique<typed_view>();
+  }
+
+  void reduce_views(rt::view_base& left, rt::view_base& right) const override {
+    M::reduce(static_cast<typed_view&>(left).value,
+              std::move(static_cast<typed_view&>(right).value));
+  }
+
+  void absorb_final(std::unique_ptr<rt::view_base> final_view) override {
+    M::reduce(leftmost_,
+              std::move(static_cast<typed_view&>(*final_view).value));
+  }
+
+  value_type leftmost_;
+};
+
+}  // namespace cilkpp::hyper
+
+namespace cilk {
+namespace hyper = cilkpp::hyper;
+using cilkpp::hyper::reducer;
+}  // namespace cilk

@@ -1,0 +1,84 @@
+// Cilk++-style named reducers (the paper's "hyperobject library", Sec. 5:
+// reducer_list.h etc.): convenience aliases over reducer<Monoid> plus the
+// ostream reducer, which serializes parallel output in exact serial order.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "hyper/monoid.hpp"
+#include "hyper/reducer.hpp"
+
+namespace cilkpp::hyper {
+
+// The names Cilk++ shipped (reducer_opadd<T> x; x.view(ctx) += v; ...).
+template <typename T>
+using reducer_opadd = reducer<opadd<T>>;
+template <typename T>
+using reducer_opmul = reducer<opmul<T>>;
+template <typename T>
+using reducer_opand = reducer<opand<T>>;
+template <typename T>
+using reducer_opor = reducer<opor<T>>;
+template <typename T>
+using reducer_opxor = reducer<opxor<T>>;
+template <typename T>
+using reducer_min = reducer<opmin<T>>;
+template <typename T>
+using reducer_max = reducer<opmax<T>>;
+template <typename Index, typename T>
+using reducer_min_index = reducer<opmin_index<Index, T>>;
+template <typename T>
+using reducer_list_append = reducer<list_append<T>>;
+template <typename T>
+using reducer_vector_append = reducer<vector_append<T>>;
+using reducer_string = reducer<string_concat>;
+
+/// reducer_ostream: strands write through private string buffers; the
+/// folded output appears on the sink stream in serial order when the
+/// reducer is flushed (Cilk++'s hyperobject for `std::cout <<` in parallel
+/// code). Usage:
+///
+///   cilk::hyper::reducer_ostream out(std::cout);
+///   ... out.view(ctx) << "strand-private line\n"; ...
+///   (after run) out.flush();
+class reducer_ostream {
+ public:
+  explicit reducer_ostream(std::ostream& sink) : sink_(&sink) {}
+
+  /// The strand's private buffer stream.
+  template <typename Ctx>
+  std::ostringstream& view(Ctx& ctx) {
+    return buffers_.view(ctx).stream;
+  }
+
+  /// Writes the serial-order concatenation to the sink and resets.
+  void flush() {
+    *sink_ << buffers_.take().stream.str();
+    sink_->flush();
+  }
+
+ private:
+  // An ostringstream wrapped in a monoid: reduce concatenates the right
+  // buffer's contents after the left's.
+  struct buffer {
+    std::ostringstream stream;
+    buffer() = default;
+    buffer(const buffer&) = delete;
+    buffer(buffer&&) = default;
+    buffer& operator=(buffer&&) = default;
+  };
+  struct buffer_concat {
+    using value_type = buffer;
+    static value_type identity() { return {}; }
+    static void reduce(value_type& left, value_type&& right) {
+      left.stream << right.stream.str();
+    }
+  };
+
+  std::ostream* sink_;
+  reducer<buffer_concat> buffers_;
+};
+
+}  // namespace cilkpp::hyper

@@ -1,0 +1,192 @@
+#include <algorithm>
+#include <thread>
+
+#include "runtime/scheduler.hpp"
+
+namespace cilkpp::rt {
+
+context::context(scheduler* sched, worker* home, context* parent,
+                 std::size_t parent_slot, kind k, std::uint64_t ped_hash)
+    : sched_(sched),
+      home_(home),
+      parent_(parent),
+      parent_slot_(parent_slot),
+      kind_(k),
+      depth_(parent == nullptr ? 0 : parent->depth_ + 1),
+      ped_hash_(ped_hash) {
+  CILKPP_ASSERT(home_ != nullptr, "context created off a worker");
+  // Single writer (this worker); relaxed load-max-store is race-free.
+  if (depth_ > home_->max_frame_depth.load(std::memory_order_relaxed)) {
+    home_->max_frame_depth.store(depth_, std::memory_order_relaxed);
+  }
+}
+
+context::~context() {
+  CILKPP_ASSERT(finished_, "context destroyed before its epilogue ran");
+}
+
+std::size_t context::reserve_child_slot() {
+  std::lock_guard lock(mu_);
+  slots_.push_back(slot{.views = {}, .exception = nullptr, .is_child = true});
+  return slots_.size() - 1;
+}
+
+void context::wait_children() noexcept {
+  // The paper's sync is a *local* barrier: only this frame's children are
+  // awaited. While they run elsewhere, this worker helps — first its own
+  // deque (deepest work, preserving the stack discipline), then stealing —
+  // rather than blocking the OS thread.
+  std::uint32_t idle_rounds = 0;
+  while (pending_.load(std::memory_order_acquire) != 0) {
+    if (sched_->help_one(*home_)) {
+      idle_rounds = 0;
+      continue;
+    }
+    if (++idle_rounds < 64) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+}
+
+std::exception_ptr context::fold_slots() {
+  // Folding consumes view objects; the strand-local cache may point into a
+  // consumed segment. Only the owning strand calls fold paths, so this is
+  // a plain write.
+  cached_hyper_ = nullptr;
+  std::lock_guard lock(mu_);
+  std::exception_ptr first_exception;
+  view_map folded;
+  for (slot& s : slots_) {
+    if (s.exception && !first_exception) first_exception = s.exception;
+    fold_view_maps(folded, std::move(s.views));
+  }
+  slots_.clear();
+  if (!folded.empty()) {
+    slots_.push_back(slot{.views = std::move(folded), .exception = nullptr,
+                          .is_child = false});
+  }
+  return first_exception;
+}
+
+view_map context::take_final_views() {
+  std::lock_guard lock(mu_);
+  if (slots_.empty()) return {};
+  CILKPP_ASSERT(slots_.size() == 1 && !slots_[0].is_child,
+                "take_final_views requires folded slots");
+  view_map result = std::move(slots_[0].views);
+  slots_.clear();
+  return result;
+}
+
+void context::sync() {
+  CILKPP_ASSERT(!finished_, "sync on a finished frame");
+  bump_rank();  // the strand after the sync is new
+  wait_children();
+  if (std::exception_ptr ex = fold_slots()) std::rethrow_exception(ex);
+}
+
+void context::finish_spawned(std::exception_ptr body_exception) noexcept {
+  wait_children();  // implicit sync before a Cilk function returns
+  std::exception_ptr child_exception = fold_slots();
+  // The body's exception unwound past the implicit sync, so in serial
+  // execution it is what the parent would see; fall back to the serially
+  // earliest child exception otherwise.
+  std::exception_ptr deliver = body_exception ? body_exception : child_exception;
+  view_map final_views = take_final_views();
+
+  context* parent = parent_;
+  {
+    std::lock_guard lock(parent->mu_);
+    slot& s = parent->slots_[parent_slot_];
+    CILKPP_ASSERT(s.is_child, "spawn slot mismatch");
+    s.views = std::move(final_views);
+    s.exception = deliver;
+  }
+  finished_ = true;
+  // Release so the parent's post-sync fold sees the delivered views.
+  parent->pending_.fetch_sub(1, std::memory_order_release);
+}
+
+void context::finish_called() {
+  sync();  // implicit sync; rethrows child exceptions to the caller
+  view_map final_views = take_final_views();
+  finished_ = true;
+  if (final_views.empty()) return;
+  context* parent = parent_;
+  std::lock_guard lock(parent->mu_);
+  if (parent->slots_.empty() || parent->slots_.back().is_child) {
+    parent->slots_.push_back(slot{});
+  }
+  // Caller updates so far are serially before the callee's: fold left.
+  fold_view_maps(parent->slots_.back().views, std::move(final_views));
+}
+
+void context::finish_root() {
+  sync();
+  view_map final_views = take_final_views();
+  finished_ = true;
+  for (auto& [hyper, view] : final_views) hyper->absorb_final(std::move(view));
+}
+
+void context::finish_root_abandoned() noexcept {
+  wait_children();
+  (void)fold_slots();  // child exceptions are superseded by the body's
+  view_map final_views = take_final_views();
+  finished_ = true;
+  for (auto& [hyper, view] : final_views) {
+    try {
+      hyper->absorb_final(std::move(view));
+    } catch (...) {
+      // A throwing reduce during unwinding: drop this view, keep going.
+    }
+  }
+}
+
+std::unique_ptr<view_base> context::extract_view(hyperobject_base& h) {
+  CILKPP_ASSERT(pending_.load(std::memory_order_acquire) == 0,
+                "extract_view with children still running; sync() first");
+  if (std::exception_ptr ex = fold_slots()) std::rethrow_exception(ex);
+  std::lock_guard lock(mu_);
+  if (slots_.empty()) return nullptr;
+  view_map& views = slots_.back().views;
+  auto it = views.find(&h);
+  if (it == views.end()) return nullptr;
+  std::unique_ptr<view_base> out = std::move(it->second);
+  views.erase(it);
+  if (cached_hyper_ == &h) cached_hyper_ = nullptr;
+  return out;
+}
+
+view_base& context::hyper_view(hyperobject_base& h) {
+  if (cached_hyper_ == &h) return *cached_view_;  // strand-local fast path
+  std::lock_guard lock(mu_);
+  if (slots_.empty() || slots_.back().is_child) slots_.push_back(slot{});
+  view_map& views = slots_.back().views;
+  auto it = views.find(&h);
+  if (it == views.end()) {
+    it = views.emplace(&h, h.identity_view()).first;
+  }
+  cached_hyper_ = &h;
+  cached_view_ = it->second.get();
+  return *it->second;
+}
+
+std::uint64_t context::strand_id() const { return ped_mix(ped_hash_, rank_); }
+
+std::uint64_t context::dprng_draw() {
+  // Chain the strand id with the per-strand draw index; draws_ resets when
+  // the rank advances, so the k-th draw of a strand is schedule-invariant.
+  return ped_mix(strand_id(), ++draws_);
+}
+
+void worker_stats::merge(const worker_stats& o) {
+  spawns += o.spawns;
+  steals += o.steals;
+  steal_attempts += o.steal_attempts;
+  tasks_executed += o.tasks_executed;
+  max_frame_depth = std::max(max_frame_depth, o.max_frame_depth);
+}
+
+}  // namespace cilkpp::rt

@@ -1,0 +1,17 @@
+#include "runtime/hyper_iface.hpp"
+
+namespace cilkpp::rt {
+
+void fold_view_maps(view_map& left, view_map&& right) {
+  for (auto& [hyper, right_view] : right) {
+    auto it = left.find(hyper);
+    if (it == left.end()) {
+      left.emplace(hyper, std::move(right_view));
+    } else {
+      hyper->reduce_views(*it->second, *right_view);
+    }
+  }
+  right.clear();
+}
+
+}  // namespace cilkpp::rt

@@ -1,0 +1,48 @@
+// Type-erased interface between the scheduler's per-frame view maps and the
+// hyperobject library (paper Sec. 5).
+//
+// The runtime needs to create, fold, and destroy reducer *views* at spawn and
+// sync boundaries without knowing their types; the typed reducer<Monoid>
+// classes live in src/hyper and implement this interface.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace cilkpp::rt {
+
+/// A strand-private view of some hyperobject. Concrete views are defined by
+/// the hyperobject library; the runtime only stores and routes them.
+struct view_base {
+  virtual ~view_base() = default;
+};
+
+/// One hyperobject (e.g. one declared reducer). Identity of the object is
+/// its address; it must outlive every computation that accesses it.
+struct hyperobject_base {
+  virtual ~hyperobject_base() = default;
+
+  /// A fresh view initialized to the monoid identity.
+  virtual std::unique_ptr<view_base> identity_view() const = 0;
+
+  /// left := reduce(left, right); right is consumed. Order matters: `left`
+  /// holds updates that are serially earlier than `right`'s.
+  virtual void reduce_views(view_base& left, view_base& right) const = 0;
+
+  /// Folds the computation's final view into the hyperobject's leftmost
+  /// (user-visible) value: leftmost := reduce(leftmost, final).
+  virtual void absorb_final(std::unique_ptr<view_base> final_view) = 0;
+};
+
+/// Views of every hyperobject touched by one strand segment, keyed by
+/// hyperobject identity.
+using view_map = std::unordered_map<hyperobject_base*, std::unique_ptr<view_base>>;
+
+/// left := reduce(left, right) pointwise over hyperobjects; views present
+/// only on the right move over unchanged (identity on the left elides a
+/// reduce call — the paper's lazy "views are created only when needed").
+void fold_view_maps(view_map& left, view_map&& right);
+
+}  // namespace cilkpp::rt

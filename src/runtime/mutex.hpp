@@ -1,0 +1,52 @@
+// The Cilk++ mutual-exclusion library (paper Sec. 1: "Cilk++ includes a
+// library for mutual-exclusion (mutex) locks") with contention counters, so
+// experiment E12 can report how often the Fig. 6 lock actually blocked.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+namespace cilkpp::rt {
+
+class mutex {
+ public:
+  void lock() {
+    acquisitions_.fetch_add(1, std::memory_order_relaxed);
+    if (m_.try_lock()) return;
+    contended_.fetch_add(1, std::memory_order_relaxed);
+    m_.lock();
+  }
+
+  bool try_lock() {
+    if (!m_.try_lock()) return false;
+    acquisitions_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  void unlock() { m_.unlock(); }
+
+  std::uint64_t acquisitions() const {
+    return acquisitions_.load(std::memory_order_relaxed);
+  }
+  /// Acquisitions that found the lock held and had to wait.
+  std::uint64_t contended_acquisitions() const {
+    return contended_.load(std::memory_order_relaxed);
+  }
+
+  void reset_counters() {
+    acquisitions_.store(0, std::memory_order_relaxed);
+    contended_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::mutex m_;
+  std::atomic<std::uint64_t> acquisitions_{0};
+  std::atomic<std::uint64_t> contended_{0};
+};
+
+}  // namespace cilkpp::rt
+
+namespace cilk {
+using cilkpp::rt::mutex;
+}  // namespace cilk

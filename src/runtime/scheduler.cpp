@@ -1,0 +1,111 @@
+#include <chrono>
+
+#include "runtime/scheduler.hpp"
+
+namespace cilkpp::rt {
+
+namespace {
+thread_local worker* tl_worker = nullptr;
+}  // namespace
+
+worker* scheduler::current_worker() { return tl_worker; }
+void scheduler::set_current_worker(worker* w) { tl_worker = w; }
+
+scheduler::scheduler(unsigned workers) {
+  unsigned count = workers;
+  if (count == 0) {
+    count = std::thread::hardware_concurrency();
+    if (count == 0) count = 1;
+  }
+  std::uint64_t seed_state = 0x2545f4914f6cdd1dULL;
+  workers_.reserve(count);
+  for (unsigned i = 0; i < count; ++i) {
+    workers_.push_back(std::make_unique<worker>(i, this, splitmix64(seed_state)));
+  }
+  // Worker 0 is the thread that calls run(); the pool provides the rest.
+  threads_.reserve(count - 1);
+  for (unsigned i = 1; i < count; ++i) {
+    threads_.emplace_back([this, i] { worker_main(i); });
+  }
+}
+
+scheduler::~scheduler() {
+  shutdown_.store(true, std::memory_order_release);
+  idle_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void scheduler::worker_main(unsigned id) {
+  worker& w = *workers_[id];
+  set_current_worker(&w);
+  while (!shutdown_.load(std::memory_order_acquire)) {
+    // With no run in flight there is nothing to steal: don't spin probing
+    // (it would burn CPU and pollute the steal-attempt statistics).
+    const bool active = run_active_.load(std::memory_order_acquire);
+    if (!active || !help_one(w)) {
+      // Nothing anywhere: nap until new work is pushed or shutdown.
+      idlers_.fetch_add(1, std::memory_order_relaxed);
+      std::unique_lock lock(idle_mu_);
+      idle_cv_.wait_for(lock, std::chrono::microseconds(200));
+      idlers_.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+  set_current_worker(nullptr);
+}
+
+bool scheduler::help_one(worker& w) {
+  if (std::optional<task*> t = w.deque.pop_bottom()) {
+    execute(w, *t);
+    return true;
+  }
+  return steal_and_execute(w);
+}
+
+bool scheduler::steal_and_execute(worker& w) {
+  const std::size_t n = workers_.size();
+  if (n < 2) return false;
+  // A few randomized attempts; "lost" races retry, "empty" moves on.
+  const std::size_t rounds = 2 * n;
+  for (std::size_t i = 0; i < rounds; ++i) {
+    std::size_t victim = w.rng.below(n - 1);
+    if (victim >= w.id) ++victim;  // uniform over workers != w
+    w.steal_attempts.fetch_add(1, std::memory_order_relaxed);
+    task* stolen = nullptr;
+    if (workers_[victim]->deque.steal(stolen) == steal_result::success) {
+      w.steals.fetch_add(1, std::memory_order_relaxed);
+      execute(w, stolen);
+      return true;
+    }
+  }
+  return false;
+}
+
+void scheduler::execute(worker& w, task* t) {
+  w.tasks_executed.fetch_add(1, std::memory_order_relaxed);
+  t->execute();
+  destroy_task(t);
+}
+
+void scheduler::push(worker& w, task* t) {
+  w.deque.push_bottom(t);
+  if (idlers_.load(std::memory_order_relaxed) > 0) idle_cv_.notify_one();
+}
+
+worker_stats scheduler::stats() const {
+  worker_stats total;
+  for (const auto& w : workers_) total.merge(w->snapshot_stats());
+  return total;
+}
+
+std::vector<worker_stats> scheduler::per_worker_stats() const {
+  std::vector<worker_stats> result;
+  result.reserve(workers_.size());
+  for (const auto& w : workers_) result.push_back(w->snapshot_stats());
+  return result;
+}
+
+void scheduler::reset_stats() {
+  for (auto& w : workers_) w->reset_stats();
+}
+
+}  // namespace cilkpp::rt

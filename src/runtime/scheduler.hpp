@@ -1,0 +1,431 @@
+// The cilkpp work-stealing runtime (paper Sec. 3).
+//
+//   "When the runtime system starts up, it allocates as many operating-system
+//    threads, called workers, as there are processors … Each worker's stack
+//    operates like a work queue … When a worker runs out of work, it becomes
+//    a thief and steals the top frame from another victim worker's stack."
+//
+// Library-level embedding. The Cilk++ compiler steals *continuations*; a
+// library cannot capture a C++ continuation, so cilkpp uses the standard
+// child-stealing formulation (DESIGN.md substitution #1): `spawn` pushes the
+// child task on the worker's deque and the parent keeps running; `sync`
+// drains remaining children, helping (executing its own deque bottom, then
+// stealing) instead of blocking. The computation dag — and therefore the
+// work, span, and reducer semantics — is the one the paper describes.
+//
+// Programming model:
+//
+//   cilk::scheduler sched;                       // workers = hw threads
+//   int r = sched.run([&](cilk::context& ctx) {
+//     int a = 0, b = 0;
+//     ctx.spawn([&](cilk::context& child) { a = fib(child, n - 1); });
+//     b = fib(ctx, n - 2);
+//     ctx.sync();                                // cilk_sync
+//     return a + b;                              // implicit sync ran already
+//   });
+//
+// Every Cilk function instance is a `context`; `spawn` = cilk_spawn,
+// `sync` = cilk_sync, `call` = a plain call of a Cilk function (scopes the
+// callee's syncs and its implicit sync, exactly as in Cilk++).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "deque/chase_lev.hpp"
+#include "runtime/task_pool.hpp"
+#include "runtime/hyper_iface.hpp"
+#include "support/assert.hpp"
+#include "support/cache.hpp"
+#include "support/rng.hpp"
+
+namespace cilkpp::rt {
+
+class scheduler;
+class context;
+
+/// A spawned child waiting in a deque. Allocated at spawn, freed after
+/// execution by the worker that ran it.
+struct task {
+  task(context* parent, std::size_t slot, std::uint64_t ped)
+      : parent_frame(parent), parent_slot(slot), child_ped_hash(ped) {}
+  virtual ~task() = default;
+  /// Runs the child on the calling worker and delivers its results
+  /// (reducer views, exception) into the parent's slot.
+  virtual void execute() = 0;
+
+  context* parent_frame;
+  std::size_t parent_slot;
+  std::uint64_t child_ped_hash;  ///< pedigree prefix captured at spawn time
+  std::uint32_t alloc_size = 0;  ///< block size for the task pool
+};
+
+/// Destroys and recycles a task block (tasks come from task_allocate).
+inline void destroy_task(task* t) noexcept {
+  const std::size_t size = t->alloc_size;
+  t->~task();
+  task_deallocate(t, size);
+}
+
+/// Per-worker statistics snapshot (paper Sec. 3.2: steals measure all
+/// communication).
+struct worker_stats {
+  std::uint64_t spawns = 0;
+  std::uint64_t steals = 0;          ///< successful steals
+  std::uint64_t steal_attempts = 0;  ///< including empty/lost attempts
+  std::uint64_t tasks_executed = 0;
+  std::uint64_t max_frame_depth = 0; ///< deepest spawned frame executed here
+
+  void merge(const worker_stats& o);
+};
+
+/// One worker: a deque plus scheduling state. Workers are created by the
+/// scheduler; worker 0 belongs to the thread that calls run(). Counters are
+/// relaxed atomics: each is written by its own worker but snapshot/reset by
+/// whoever calls scheduler::stats().
+struct worker {
+  worker(unsigned id_, scheduler* sched_, std::uint64_t seed)
+      : id(id_), sched(sched_), rng(seed) {}
+
+  worker_stats snapshot_stats() const {
+    worker_stats s;
+    s.spawns = spawns.load(std::memory_order_relaxed);
+    s.steals = steals.load(std::memory_order_relaxed);
+    s.steal_attempts = steal_attempts.load(std::memory_order_relaxed);
+    s.tasks_executed = tasks_executed.load(std::memory_order_relaxed);
+    s.max_frame_depth = max_frame_depth.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  void reset_stats() {
+    spawns.store(0, std::memory_order_relaxed);
+    steals.store(0, std::memory_order_relaxed);
+    steal_attempts.store(0, std::memory_order_relaxed);
+    tasks_executed.store(0, std::memory_order_relaxed);
+    max_frame_depth.store(0, std::memory_order_relaxed);
+  }
+
+  unsigned id;
+  scheduler* sched;
+  chase_lev_deque<task*> deque;
+  xoshiro256 rng;
+  std::atomic<std::uint64_t> spawns{0};
+  std::atomic<std::uint64_t> steals{0};
+  std::atomic<std::uint64_t> steal_attempts{0};
+  std::atomic<std::uint64_t> tasks_executed{0};
+  std::atomic<std::uint64_t> max_frame_depth{0};
+};
+
+/// A Cilk function instance (a "full frame"): owns the children it spawned
+/// and the reducer view segments of its strands. Created only by the
+/// runtime (run/spawn/call); user code receives references.
+class context {
+ public:
+  context(const context&) = delete;
+  context& operator=(const context&) = delete;
+  ~context();
+
+  /// cilk_spawn: start fn(child_context&) as a child that may run in
+  /// parallel with the rest of this function.
+  template <typename Fn>
+  void spawn(Fn&& fn);
+
+  /// cilk_sync: wait for every child this function instance spawned.
+  /// Rethrows the (serially earliest) child exception, if any.
+  void sync();
+
+  /// A plain call of a Cilk function: callee gets its own frame so its
+  /// syncs are local and it syncs implicitly before returning.
+  template <typename Fn>
+  auto call(Fn&& fn) -> decltype(fn(std::declval<context&>()));
+
+  /// Engine-compatibility hook (the dag recorder charges work here;
+  /// the real runtime measures wall time instead).
+  void account(std::uint64_t) {}
+
+  /// The strand's current view of hyperobject h (hyperobject library entry
+  /// point). The reference is stable until this strand's next spawn/sync;
+  /// re-fetch after either.
+  view_base& hyper_view(hyperobject_base& h);
+
+  /// Removes and returns this frame's folded view of h (null if h was never
+  /// touched here). Precondition: no pending children (call sync() first).
+  /// This is how a locally-scoped hyperobject retires its state before
+  /// going out of scope; see reducer::collect.
+  std::unique_ptr<view_base> extract_view(hyperobject_base& h);
+
+  scheduler& sched() const { return *sched_; }
+  /// Worker executing this frame (stable: child stealing never migrates a
+  /// frame off the worker that started it).
+  unsigned worker_id() const { return home_->id; }
+  /// Spawn depth of this frame: 0 for the root.
+  std::uint64_t depth() const { return depth_; }
+
+  /// Pedigree-based strand identifier: a 64-bit value that identifies the
+  /// currently executing strand *independent of scheduling* — the same
+  /// strand gets the same id on every run and any worker count (the
+  /// mechanism behind deterministic parallel RNG in Cilk-family systems).
+  /// Computed as a hash chain over (parent pedigree, spawn rank), advanced
+  /// at every spawn and sync.
+  std::uint64_t strand_id() const;
+
+  /// One deterministic pseudo-random draw for the current strand: the k-th
+  /// draw of a given strand is identical across runs and worker counts.
+  std::uint64_t dprng_draw();
+
+ private:
+  friend class scheduler;
+  template <typename>
+  friend struct spawn_task;
+
+  enum class kind : std::uint8_t { root, spawned, called };
+
+  /// Either one strand segment's reducer views, or a completed child's
+  /// folded result; slot order is serial execution order (Sec. 5's ordered
+  /// reduction depends on folding these strictly left to right).
+  struct slot {
+    view_map views;
+    std::exception_ptr exception;  // child slots only
+    bool is_child = false;
+  };
+
+  context(scheduler* sched, worker* home, context* parent, std::size_t parent_slot,
+          kind k, std::uint64_t ped_hash);
+
+  /// Deterministic pedigree chaining: the child born at rank r of a frame
+  /// with prefix h gets prefix ped_mix(h, r).
+  static std::uint64_t ped_mix(std::uint64_t h, std::uint64_t r) {
+    std::uint64_t state = h ^ (r * 0x9e3779b97f4a7c15ULL);
+    return splitmix64(state);
+  }
+
+  /// Allocates a child slot; returns its index (stable under growth).
+  std::size_t reserve_child_slot();
+
+  /// Helps until all spawned children have completed (never throws).
+  void wait_children() noexcept;
+
+  /// Folds all slots left-to-right into one segment; returns the serially
+  /// earliest child exception (or null).
+  std::exception_ptr fold_slots();
+
+  /// Spawned-child epilogue: implicit sync, fold, deliver into parent slot.
+  void finish_spawned(std::exception_ptr body_exception) noexcept;
+
+  /// Called-frame epilogue: implicit sync (throws), fold into parent's
+  /// current segment.
+  void finish_called();
+
+  /// Root epilogue: implicit sync (throws), absorb views into hyperobjects.
+  void finish_root();
+
+  /// Root epilogue on the exception path: joins children and still absorbs
+  /// completed strands' reducer views (updates are not silently dropped),
+  /// discarding any child exceptions — the body's exception wins.
+  void finish_root_abandoned() noexcept;
+
+  /// Moves this frame's single folded segment out (after fold_slots()).
+  view_map take_final_views();
+
+  /// Advances the pedigree rank (called at spawn and sync so the strands a
+  /// frame executes before/after each parallel-control event are distinct).
+  /// Also invalidates the strand-local view cache: the next reducer access
+  /// must open a fresh segment.
+  void bump_rank() {
+    ++rank_;
+    draws_ = 0;
+    cached_hyper_ = nullptr;
+  }
+
+  scheduler* sched_;
+  worker* home_;
+  context* parent_;
+  std::size_t parent_slot_;
+  kind kind_;
+  std::uint64_t depth_;
+  std::uint64_t ped_hash_;  // hash of this frame's pedigree prefix
+  std::uint64_t rank_ = 0;  // spawn/sync rank within this frame
+  std::uint64_t draws_ = 0; // dprng draws on the current strand
+  bool finished_ = false;
+  // Strand-local view cache: repeat accesses to the same reducer within a
+  // strand skip the lock and the hash lookup. Safe because a view object
+  // is heap-stable and only this frame's strand mutates the segment map;
+  // bump_rank() clears it at every spawn/sync.
+  hyperobject_base* cached_hyper_ = nullptr;
+  view_base* cached_view_ = nullptr;
+  std::atomic<std::uint32_t> pending_{0};
+  std::mutex mu_;            // guards slots_ (uncontended except at child completion)
+  std::vector<slot> slots_;
+};
+
+/// The work-stealing scheduler. Owns P workers; P-1 pool threads plus the
+/// thread that calls run(). Safe to construct/destroy repeatedly; run() may
+/// be called many times, from one thread at a time.
+class scheduler {
+ public:
+  /// workers == 0 means one per hardware thread.
+  explicit scheduler(unsigned workers = 0);
+  ~scheduler();
+
+  scheduler(const scheduler&) = delete;
+  scheduler& operator=(const scheduler&) = delete;
+
+  /// Executes fn(root_context&) to completion on this scheduler and returns
+  /// its result. Hyperobject updates are folded into their hyperobjects
+  /// before run() returns. Rethrows fn's (or a child's) exception.
+  template <typename Fn>
+  auto run(Fn&& fn) -> decltype(fn(std::declval<context&>()));
+
+  unsigned num_workers() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Aggregate statistics since construction / last reset. Call while idle.
+  worker_stats stats() const;
+  std::vector<worker_stats> per_worker_stats() const;
+  void reset_stats();
+
+ private:
+  friend class context;
+  template <typename>
+  friend struct spawn_task;
+
+  void worker_main(unsigned id);
+  /// Pops own bottom or steals once; executes what it finds.
+  /// Returns false if no work was found anywhere.
+  bool help_one(worker& w);
+  bool steal_and_execute(worker& w);
+  void execute(worker& w, task* t);
+  void push(worker& w, task* t);
+
+  static worker* current_worker();
+  static void set_current_worker(worker* w);
+
+  std::vector<std::unique_ptr<worker>> workers_;
+  std::vector<std::thread> threads_;
+  std::atomic<bool> shutdown_{false};
+  std::atomic<bool> run_active_{false};
+
+  // Idle parking: workers nap briefly when the whole system looks empty.
+  std::atomic<std::uint32_t> idlers_{0};
+  std::mutex idle_mu_;
+  std::condition_variable idle_cv_;
+};
+
+// ---------------------------------------------------------------------------
+// Template implementations.
+
+template <typename Fn>
+struct spawn_task final : task {
+  spawn_task(context* parent, std::size_t slot, Fn f, std::uint64_t ped)
+      : task(parent, slot, ped), fn(std::move(f)) {}
+
+  void execute() override {
+    context child(parent_frame->sched_, scheduler::current_worker(), parent_frame,
+                  parent_slot, context::kind::spawned, child_ped_hash);
+    std::exception_ptr body_exception;
+    try {
+      fn(child);
+    } catch (...) {
+      body_exception = std::current_exception();
+    }
+    child.finish_spawned(body_exception);
+  }
+
+  Fn fn;
+};
+
+template <typename Fn>
+void context::spawn(Fn&& fn) {
+  CILKPP_ASSERT(!finished_, "spawn on a finished frame");
+  const std::uint64_t child_ped = ped_mix(ped_hash_, rank_);
+  bump_rank();  // the continuation after this spawn is a new strand
+  const std::size_t idx = reserve_child_slot();
+  pending_.fetch_add(1, std::memory_order_relaxed);
+  using task_type = spawn_task<std::decay_t<Fn>>;
+  void* mem = task_allocate(sizeof(task_type));
+  auto* t = new (mem) task_type(this, idx, std::forward<Fn>(fn), child_ped);
+  t->alloc_size = sizeof(task_type);
+  home_->spawns.fetch_add(1, std::memory_order_relaxed);
+  sched_->push(*home_, t);
+}
+
+template <typename Fn>
+auto context::call(Fn&& fn) -> decltype(fn(std::declval<context&>())) {
+  const std::uint64_t child_ped = ped_mix(ped_hash_, rank_);
+  bump_rank();  // the continuation after the call is a new strand
+  context child(sched_, home_, this, /*parent_slot=*/0, kind::called, child_ped);
+  using result = decltype(fn(child));
+  if constexpr (std::is_void_v<result>) {
+    try {
+      fn(child);
+    } catch (...) {
+      child.wait_children();  // children must not outlive the frame
+      child.finished_ = true;
+      throw;
+    }
+    child.finish_called();
+  } else {
+    result r = [&] {
+      try {
+        return fn(child);
+      } catch (...) {
+        child.wait_children();
+        child.finished_ = true;
+        throw;
+      }
+    }();
+    child.finish_called();
+    return r;
+  }
+}
+
+template <typename Fn>
+auto scheduler::run(Fn&& fn) -> decltype(fn(std::declval<context&>())) {
+  bool expected = false;
+  CILKPP_ASSERT(run_active_.compare_exchange_strong(expected, true),
+                "concurrent or nested scheduler::run is not supported");
+  CILKPP_ASSERT(current_worker() == nullptr,
+                "run() may not be called from a worker thread");
+  set_current_worker(workers_[0].get());
+
+  context root(this, workers_[0].get(), nullptr, 0, context::kind::root,
+               /*ped_hash=*/0x5bd1e995c11c2009ULL);
+  auto cleanup = [&]() {
+    set_current_worker(nullptr);
+    run_active_.store(false);
+  };
+
+  using result = decltype(fn(root));
+  try {
+    if constexpr (std::is_void_v<result>) {
+      fn(root);
+      root.finish_root();
+      cleanup();
+    } else {
+      result r = fn(root);
+      root.finish_root();
+      cleanup();
+      return r;
+    }
+  } catch (...) {
+    root.finish_root_abandoned();
+    cleanup();
+    throw;
+  }
+}
+
+}  // namespace cilkpp::rt
+
+/// Public spelling: the paper's system is "Cilk++"; the library namespace is
+/// cilk to keep user code close to Fig. 1.
+namespace cilk {
+using context = cilkpp::rt::context;
+using scheduler = cilkpp::rt::scheduler;
+}  // namespace cilk

@@ -1,0 +1,72 @@
+// Serial elision (paper Sec. 1): "parallel code retains its serial semantics
+// when run on one processor … the program would be an ordinary C++ program
+// if the three keywords were elided."
+//
+// serial_context implements the same engine surface as rt::context — spawn,
+// sync, call, account — but spawn simply calls the child, exactly the
+// elision. Workloads written once against a generic engine run under the
+// real scheduler, under elision (the <2%-overhead baseline of experiment
+// E6), under the dag recorder, and under the race detector.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+namespace cilkpp::rt {
+
+class serial_context {
+ public:
+  serial_context() : work_(&own_work_) {}
+
+  serial_context(const serial_context&) = delete;
+  serial_context& operator=(const serial_context&) = delete;
+
+  /// Elided cilk_spawn: run the child now, to completion.
+  template <typename Fn>
+  void spawn(Fn&& fn) {
+    serial_context child(work_);
+    std::forward<Fn>(fn)(child);
+  }
+
+  /// Elided cilk_sync: every child already completed.
+  void sync() {}
+
+  /// A plain call of a Cilk function.
+  template <typename Fn>
+  auto call(Fn&& fn) {
+    serial_context child(work_);
+    return std::forward<Fn>(fn)(child);
+  }
+
+  /// Work accounting: accumulated so serial runs report T1 in the same
+  /// units the recorder charges.
+  void account(std::uint64_t units) { *work_ += units; }
+
+  std::uint64_t accounted_work() const { return *work_; }
+
+ private:
+  explicit serial_context(std::uint64_t* shared_work) : work_(shared_work) {}
+
+  std::uint64_t own_work_ = 0;
+  std::uint64_t* work_;
+};
+
+/// parallel_for lowering under elision: a plain serial loop. Accepts the
+/// same body shapes as the parallel version (body(i) or body(ctx, i)).
+template <typename Index, typename Body>
+void parallel_for(serial_context& ctx, Index begin, Index end, const Body& body,
+                  std::uint64_t /*grain*/ = 0) {
+  for (Index i = begin; i < end; ++i) {
+    if constexpr (std::is_invocable_v<const Body&, serial_context&, Index>) {
+      body(ctx, i);
+    } else {
+      body(i);
+    }
+  }
+}
+
+}  // namespace cilkpp::rt
+
+namespace cilk {
+using cilkpp::rt::serial_context;
+}  // namespace cilk

@@ -1,0 +1,80 @@
+// Size-classed, thread-local task allocator.
+//
+// Every cilk_spawn allocates a task object; the paper's <2%-overhead claim
+// (Sec. 3) depends on that path being cheap. A global operator new costs a
+// lock or a CAS in most allocators; this pool recycles task blocks through
+// thread-local free lists (a task may be freed on a different worker than
+// the one that allocated it — blocks simply migrate to the freeing worker's
+// list, which is fine because all blocks of a class are interchangeable).
+//
+// Four size classes cover every spawn_task<Fn> the library generates
+// (lambda captures are small by construction — contexts are passed by
+// reference); larger requests fall back to operator new.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace cilkpp::rt {
+
+namespace pool_detail {
+
+inline constexpr std::size_t class_sizes[] = {64, 128, 256, 512};
+inline constexpr std::size_t num_classes = 4;
+/// Cap per class per thread: bounds pool memory at ~120 KiB per worker.
+inline constexpr std::size_t max_cached = 128;
+
+inline int size_class(std::size_t size) {
+  for (std::size_t c = 0; c < num_classes; ++c) {
+    if (size <= class_sizes[c]) return static_cast<int>(c);
+  }
+  return -1;
+}
+
+struct free_lists {
+  std::vector<void*> buckets[num_classes];
+
+  ~free_lists() {
+    for (auto& bucket : buckets) {
+      for (void* p : bucket) ::operator delete(p);
+    }
+  }
+};
+
+inline free_lists& local_lists() {
+  thread_local free_lists lists;
+  return lists;
+}
+
+}  // namespace pool_detail
+
+/// Allocates a task block of at least `size` bytes.
+inline void* task_allocate(std::size_t size) {
+  const int c = pool_detail::size_class(size);
+  if (c < 0) return ::operator new(size);
+  auto& bucket = pool_detail::local_lists().buckets[c];
+  if (!bucket.empty()) {
+    void* p = bucket.back();
+    bucket.pop_back();
+    return p;
+  }
+  return ::operator new(pool_detail::class_sizes[c]);
+}
+
+/// Returns a block obtained from task_allocate with the same `size`.
+inline void task_deallocate(void* p, std::size_t size) noexcept {
+  const int c = pool_detail::size_class(size);
+  if (c < 0) {
+    ::operator delete(p);
+    return;
+  }
+  auto& bucket = pool_detail::local_lists().buckets[c];
+  if (bucket.size() >= pool_detail::max_cached) {
+    ::operator delete(p);
+    return;
+  }
+  bucket.push_back(p);
+}
+
+}  // namespace cilkpp::rt

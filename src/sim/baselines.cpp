@@ -1,0 +1,198 @@
+#include "sim/baselines.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+
+#include "support/assert.hpp"
+
+namespace cilkpp::sim {
+
+namespace {
+
+struct event {
+  std::uint64_t time;
+  std::uint64_t seq;
+  std::uint32_t proc;
+
+  bool operator>(const event& o) const {
+    return time != o.time ? time > o.time : seq > o.seq;
+  }
+};
+
+/// Shared machinery for the two baseline families; `Take` returns the next
+/// strand for processor p or invalid_vertex.
+class baseline_machine {
+ public:
+  baseline_machine(const dag::graph& g, const baseline_config& cfg, bool central,
+                   queue_order order)
+      : g_(g),
+        cfg_(cfg),
+        central_(central),
+        order_(order),
+        indeg_(g.in_degrees()),
+        local_(cfg.processors),
+        running_(cfg.processors, dag::invalid_vertex),
+        stats_(cfg.processors) {
+    CILKPP_ASSERT(cfg_.processors > 0, "need at least one processor");
+    CILKPP_ASSERT(g_.num_vertices() > 0, "cannot simulate the empty dag");
+  }
+
+  sim_result run() {
+    std::uint32_t next_proc = 0;
+    for (dag::vertex_id v : g_.sources()) {
+      enqueue(next_proc, v);
+      next_proc = (next_proc + 1) % cfg_.processors;
+    }
+    for (std::uint32_t p = 0; p < cfg_.processors; ++p) dispatch(p, 0);
+
+    while (completed_ < g_.num_vertices()) {
+      CILKPP_ASSERT(!events_.empty(), "baseline deadlocked");
+      const event e = events_.top();
+      events_.pop();
+      on_complete(e.proc, e.time);
+    }
+
+    sim_result r;
+    r.makespan = makespan_;
+    r.peak_residency = peak_residency_;
+    r.peak_stack_frames = peak_stack_frames_;
+    r.per_proc = stats_;
+    for (const proc_stats& s : stats_) r.work += s.busy;
+    r.utilization = makespan_ == 0
+                        ? 1.0
+                        : static_cast<double>(r.work) /
+                              (static_cast<double>(cfg_.processors) *
+                               static_cast<double>(makespan_));
+    return r;
+  }
+
+ private:
+  std::uint64_t available(std::uint32_t p, std::uint64_t t) const {
+    if (p >= cfg_.offline.size()) return t;
+    for (const offline_interval& w : cfg_.offline[p]) {
+      if (t >= w.begin && t < w.end) t = w.end;
+    }
+    return t;
+  }
+
+  void enqueue(std::uint32_t enabler, dag::vertex_id v) {
+    if (central_) {
+      shared_.push_back(v);
+    } else {
+      local_[enabler].push_back(v);
+    }
+    ++residency_;
+    peak_residency_ = std::max(peak_residency_, residency_);
+  }
+
+  dag::vertex_id take(std::uint32_t p) {
+    auto& q = central_ ? shared_ : local_[p];
+    if (q.empty()) return dag::invalid_vertex;
+    dag::vertex_id v;
+    if (central_ && order_ == queue_order::fifo) {
+      v = q.front();
+      q.pop_front();
+    } else {
+      v = q.back();  // LIFO central queue, and local queues run stack order
+      q.pop_back();
+    }
+    --residency_;
+    return v;
+  }
+
+  void dispatch(std::uint32_t p, std::uint64_t t) {
+    const dag::vertex_id v = take(p);
+    if (v == dag::invalid_vertex) {
+      idle_.push_back(p);
+      return;
+    }
+    start(p, v, t);
+  }
+
+  void start(std::uint32_t p, dag::vertex_id v, std::uint64_t t) {
+    t = available(p, t);
+    running_[p] = v;
+    stack_frames_ += g_.vertex_depth(v) + 1;
+    peak_stack_frames_ = std::max(peak_stack_frames_, stack_frames_);
+    stats_[p].peak_frame_depth =
+        std::max(stats_[p].peak_frame_depth, g_.vertex_depth(v));
+    events_.push(event{t + g_.vertex_work(v), seq_++, p});
+  }
+
+  void on_complete(std::uint32_t p, std::uint64_t t) {
+    const dag::vertex_id v = running_[p];
+    running_[p] = dag::invalid_vertex;
+    stack_frames_ -= g_.vertex_depth(v) + 1;
+    stats_[p].busy += g_.vertex_work(v);
+    ++stats_[p].strands_executed;
+    ++completed_;
+    makespan_ = std::max(makespan_, t);
+
+    // Eager expansion (the naive scheduler of Sec. 3.1): the completing
+    // processor continues straight into its continuation — task creation is
+    // not preempted by the tasks it creates — and everything else it enabled
+    // goes to the queue. In dag terms the continuation is the last enabled
+    // successor of a spawn strand.
+    dag::vertex_id next = dag::invalid_vertex;
+    std::size_t enabled = 0;
+    for (dag::vertex_id s : g_.successors(v)) {
+      if (--indeg_[s] == 0) {
+        if (next != dag::invalid_vertex) {
+          enqueue(p, next);
+          ++enabled;
+        }
+        next = s;
+      }
+    }
+    // Central queue: new work may unblock idlers anywhere. Local queues:
+    // only this processor's queue changed.
+    if (central_) {
+      while (enabled > 0 && !idle_.empty()) {
+        const std::uint32_t w = idle_.back();
+        idle_.pop_back();
+        dispatch(w, t);
+        --enabled;
+      }
+    }
+    if (next != dag::invalid_vertex) {
+      start(p, next, t);
+    } else {
+      dispatch(p, t);
+    }
+  }
+
+  const dag::graph& g_;
+  baseline_config cfg_;
+  bool central_;
+  queue_order order_;
+
+  std::vector<std::uint32_t> indeg_;
+  std::deque<dag::vertex_id> shared_;
+  std::vector<std::deque<dag::vertex_id>> local_;
+  std::vector<dag::vertex_id> running_;
+  std::vector<proc_stats> stats_;
+  std::vector<std::uint32_t> idle_;
+
+  std::priority_queue<event, std::vector<event>, std::greater<>> events_;
+  std::uint64_t seq_ = 0;
+  std::size_t completed_ = 0;
+  std::uint64_t makespan_ = 0;
+  std::size_t residency_ = 0;
+  std::size_t peak_residency_ = 0;
+  std::uint64_t stack_frames_ = 0;
+  std::uint64_t peak_stack_frames_ = 0;
+};
+
+}  // namespace
+
+sim_result simulate_central_queue(const dag::graph& g, const baseline_config& config,
+                                  queue_order order) {
+  return baseline_machine(g, config, /*central=*/true, order).run();
+}
+
+sim_result simulate_static_local(const dag::graph& g, const baseline_config& config) {
+  return baseline_machine(g, config, /*central=*/false, queue_order::lifo).run();
+}
+
+}  // namespace cilkpp::sim

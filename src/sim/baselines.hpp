@@ -1,0 +1,40 @@
+// Baseline schedulers the paper argues against.
+//
+//  * central_queue (FIFO): the "more naive scheduler" of Sec. 3.1 "which may
+//    create a work-queue of one billion tasks, one for each iteration …
+//    before executing even the first iteration, thus blowing out physical
+//    memory". Enabled strands go into one shared queue; processors take
+//    from the head. peak_residency exposes the memory blowup.
+//  * central_queue (LIFO): same structure, stack order — bounded memory but
+//    a single contention point (contention itself is not modeled; the
+//    benchmark discusses it).
+//  * static_local: enabled strands stay on the processor that enabled them,
+//    no stealing — the non-adaptive straw man for the multiprogramming and
+//    composability experiments (E9, E10).
+#pragma once
+
+#include <cstdint>
+
+#include "dag/graph.hpp"
+#include "sim/machine.hpp"
+
+namespace cilkpp::sim {
+
+enum class queue_order : std::uint8_t { fifo, lifo };
+
+struct baseline_config {
+  unsigned processors = 1;
+  std::uint64_t seed = 1;
+  /// Same adversary model as machine_config.
+  std::vector<std::vector<offline_interval>> offline;
+};
+
+/// One shared queue of enabled strands; idle processors take from it.
+sim_result simulate_central_queue(const dag::graph& g, const baseline_config& config,
+                                  queue_order order);
+
+/// Fixed-owner scheduling: strands run on the processor that enabled them
+/// (sources round-robin); processors never steal.
+sim_result simulate_static_local(const dag::graph& g, const baseline_config& config);
+
+}  // namespace cilkpp::sim

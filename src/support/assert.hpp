@@ -1,0 +1,31 @@
+// Checked assertions and fatal-error reporting for the cilkpp libraries.
+//
+// CILKPP_ASSERT is compiled in all build types: the runtime, detector, and
+// simulator all rely on internal invariants whose violation would otherwise
+// surface as silent data corruption, which is far more expensive to debug
+// than the cost of the checks (all are O(1) and off the hot path unless
+// stated otherwise at the call site).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+
+namespace cilkpp {
+
+[[noreturn]] inline void panic(std::string_view msg, const char* file, int line) {
+  std::fprintf(stderr, "cilkpp: fatal: %.*s (%s:%d)\n",
+               static_cast<int>(msg.size()), msg.data(), file, line);
+  std::abort();
+}
+
+}  // namespace cilkpp
+
+#define CILKPP_ASSERT(cond, msg)                      \
+  do {                                                \
+    if (!(cond)) [[unlikely]] {                       \
+      ::cilkpp::panic((msg), __FILE__, __LINE__);     \
+    }                                                 \
+  } while (0)
+
+#define CILKPP_UNREACHABLE(msg) ::cilkpp::panic((msg), __FILE__, __LINE__)

@@ -1,0 +1,31 @@
+// Cache-line geometry and padded wrappers used by the deque and scheduler to
+// keep per-worker hot fields from false-sharing.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <utility>
+
+namespace cilkpp {
+
+// std::hardware_destructive_interference_size is not implemented by all
+// standard libraries shipped with GCC 12; 64 bytes is correct for every
+// x86-64 part this project targets and safely conservative elsewhere.
+inline constexpr std::size_t cache_line_size = 64;
+
+/// Value padded out to a full cache line so adjacent array elements never
+/// share a line (one per worker in the scheduler's hot arrays).
+template <typename T>
+struct alignas(cache_line_size) padded {
+  T value;
+
+  padded() = default;
+  explicit padded(T v) : value(std::move(v)) {}
+
+  T* operator->() { return &value; }
+  const T* operator->() const { return &value; }
+  T& operator*() { return value; }
+  const T& operator*() const { return value; }
+};
+
+}  // namespace cilkpp

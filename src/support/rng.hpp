@@ -1,0 +1,81 @@
+// Small deterministic pseudo-random generators.
+//
+// The simulator's victim selection and every synthetic workload generator
+// must be reproducible from a seed so that benchmark rows are stable across
+// runs; std::mt19937 would work but is heavyweight to store per virtual
+// processor, so we use splitmix64 for seeding and xoshiro256** for streams.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace cilkpp {
+
+/// One splitmix64 step; good for turning a counter or weak seed into a
+/// well-mixed 64-bit value. Stateless helper.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** — fast, tiny-state, high-quality generator.
+/// Satisfies UniformRandomBitGenerator so it composes with <random>.
+class xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr xoshiro256(std::uint64_t seed = 0x853c49e6748fea9bULL) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  constexpr result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be nonzero.
+  /// Lemire's multiply-shift rejection method: unbiased and division-free
+  /// in the common case — this sits on the simulator's steal path.
+  constexpr std::uint64_t below(std::uint64_t bound) {
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (low < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double unit() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace cilkpp

@@ -1,0 +1,96 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace cilkpp {
+
+void accumulator::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double accumulator::min() const {
+  CILKPP_ASSERT(count_ > 0, "min() of empty accumulator");
+  return min_;
+}
+
+double accumulator::max() const {
+  CILKPP_ASSERT(count_ > 0, "max() of empty accumulator");
+  return max_;
+}
+
+double accumulator::mean() const {
+  CILKPP_ASSERT(count_ > 0, "mean() of empty accumulator");
+  return mean_;
+}
+
+double accumulator::variance() const {
+  if (count_ < 2) return 0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double accumulator::stddev() const { return std::sqrt(variance()); }
+
+void accumulator::merge(const accumulator& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto n1 = static_cast<double>(count_);
+  const auto n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+histogram::histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), buckets_(buckets, 0) {
+  CILKPP_ASSERT(hi > lo, "histogram range must be nonempty");
+  CILKPP_ASSERT(buckets > 0, "histogram needs at least one bucket");
+}
+
+void histogram::add(double x) {
+  const double frac = (x - lo_) / (hi_ - lo_);
+  auto idx = static_cast<std::int64_t>(frac * static_cast<double>(buckets_.size()));
+  idx = std::clamp<std::int64_t>(idx, 0, static_cast<std::int64_t>(buckets_.size()) - 1);
+  ++buckets_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+double histogram::bucket_low(std::size_t i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) / static_cast<double>(buckets_.size());
+}
+
+double histogram::bucket_high(std::size_t i) const { return bucket_low(i + 1); }
+
+double histogram::percentile(double p) const {
+  CILKPP_ASSERT(p >= 0.0 && p <= 1.0, "percentile fraction out of range");
+  if (total_ == 0) return lo_;
+  const auto target = static_cast<std::uint64_t>(p * static_cast<double>(total_));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen > target) return bucket_high(i);
+  }
+  return hi_;
+}
+
+}  // namespace cilkpp

@@ -1,0 +1,58 @@
+// Streaming statistics accumulators used by benchmarks and the simulator.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace cilkpp {
+
+/// Single-pass accumulator: count, min, max, mean, variance (Welford).
+class accumulator {
+ public:
+  void add(double x);
+
+  std::uint64_t count() const { return count_; }
+  double min() const;
+  double max() const;
+  double mean() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double sum() const { return sum_; }
+
+  /// Merge another accumulator into this one (parallel-friendly).
+  void merge(const accumulator& other);
+
+ private:
+  std::uint64_t count_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double sum_ = 0;
+};
+
+/// Fixed-bucket histogram over [lo, hi); out-of-range samples are clamped
+/// into the first/last bucket so totals always match the sample count.
+class histogram {
+ public:
+  histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x);
+  std::uint64_t bucket_count(std::size_t i) const { return buckets_.at(i); }
+  std::size_t buckets() const { return buckets_.size(); }
+  std::uint64_t total() const { return total_; }
+  double bucket_low(std::size_t i) const;
+  double bucket_high(std::size_t i) const;
+
+  /// Value below which the given fraction of samples fall (bucket-resolution).
+  double percentile(double p) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace cilkpp

@@ -1,0 +1,65 @@
+// Plain-text table printer shared by the benchmark harness and cilkview
+// reports: every experiment binary emits the same aligned-column format the
+// paper's tables/figures are transcribed into in EXPERIMENTS.md.
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cilkpp {
+
+/// Column-aligned text table with an optional title.
+///
+/// Usage:
+///   table t{"P", "speedup", "bound"};
+///   t.row(4, 3.97, 4.0);
+///   t.print(std::cout);
+class table {
+ public:
+  table(std::initializer_list<std::string> headers);
+
+  /// Append one row; each cell is formatted with format_cell (numbers get
+  /// up to 4 significant decimals, integers print exactly).
+  template <typename... Cells>
+  void row(const Cells&... cells) {
+    std::vector<std::string> r;
+    r.reserve(sizeof...(cells));
+    (r.push_back(format_cell(cells)), ...);
+    add_row(std::move(r));
+  }
+
+  void add_row(std::vector<std::string> cells);
+
+  void set_title(std::string title) { title_ = std::move(title); }
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Aligned human-readable rendering.
+  void print(std::ostream& os) const;
+  /// Machine-readable CSV rendering (same data).
+  void print_csv(std::ostream& os) const;
+
+  static std::string format_cell(const std::string& s) { return s; }
+  static std::string format_cell(const char* s) { return s; }
+  static std::string format_cell(double v);
+  static std::string format_unsigned(std::uint64_t v);
+  static std::string format_signed(std::int64_t v);
+  template <typename I>
+    requires std::is_integral_v<I>
+  static std::string format_cell(I v) {
+    if constexpr (std::is_signed_v<I>)
+      return format_signed(static_cast<std::int64_t>(v));
+    else
+      return format_unsigned(static_cast<std::uint64_t>(v));
+  }
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cilkpp

@@ -1,0 +1,37 @@
+// Wall-clock timing helpers for the real-runtime benchmarks.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace cilkpp {
+
+/// Monotonic nanosecond timestamp.
+inline std::uint64_t now_ns() {
+  using clock = std::chrono::steady_clock;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          clock::now().time_since_epoch())
+          .count());
+}
+
+/// Scoped stopwatch: measures elapsed nanoseconds between construction and
+/// elapsed_ns() calls.
+class stopwatch {
+ public:
+  stopwatch() : start_(now_ns()) {}
+  void reset() { start_ = now_ns(); }
+  std::uint64_t elapsed_ns() const { return now_ns() - start_; }
+  double elapsed_s() const { return static_cast<double>(elapsed_ns()) * 1e-9; }
+
+ private:
+  std::uint64_t start_;
+};
+
+/// Prevents the optimizer from discarding a computed value.
+template <typename T>
+inline void do_not_optimize(T const& value) {
+  asm volatile("" : : "r,m"(value) : "memory");
+}
+
+}  // namespace cilkpp

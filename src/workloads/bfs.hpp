@@ -1,0 +1,75 @@
+// Parallel level-synchronous breadth-first search (paper Sec. 2.3: BFS on
+// large irregular graphs exhibits parallelism "on the order of thousands").
+//
+// Each level expands the whole frontier with a parallel_for; vertices are
+// claimed with a compare-and-swap on their distance, and the next frontier
+// is assembled with a vector-append reducer, so its order is the serial
+// execution's regardless of scheduling.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "hyper/monoid.hpp"
+#include "hyper/reducer.hpp"
+#include "runtime/parallel_for.hpp"
+#include "workloads/sparse.hpp"
+
+namespace cilkpp::workloads {
+
+inline constexpr std::uint32_t bfs_unreachable =
+    std::numeric_limits<std::uint32_t>::max();
+
+/// Body of bfs(), running in a frame with no unrelated children (required
+/// because the per-level frontier reducers are collect()ed here).
+template <typename Ctx>
+std::vector<std::uint32_t> bfs_in_frame(Ctx& ctx, const csr& g,
+                                        std::uint32_t source,
+                                        std::uint64_t grain) {
+  std::vector<std::atomic<std::uint32_t>> dist(g.rows());
+  for (auto& d : dist) d.store(bfs_unreachable, std::memory_order_relaxed);
+  dist[source].store(0, std::memory_order_relaxed);
+
+  std::vector<std::uint32_t> frontier{source};
+  std::uint32_t level = 0;
+  while (!frontier.empty()) {
+    ++level;
+    hyper::reducer<hyper::vector_append<std::uint32_t>> next;
+    parallel_for(
+        ctx, std::size_t{0}, frontier.size(),
+        [&, level](Ctx& leaf, std::size_t i) {
+          const std::uint32_t u = frontier[i];
+          leaf.account(g.row_begin[u + 1] - g.row_begin[u] + 1);
+          for (std::uint32_t e = g.row_begin[u]; e < g.row_begin[u + 1]; ++e) {
+            const std::uint32_t v = g.col[e];
+            std::uint32_t expected = bfs_unreachable;
+            if (dist[v].compare_exchange_strong(expected, level,
+                                                std::memory_order_relaxed)) {
+              next.view(leaf).push_back(v);
+            }
+          }
+        },
+        grain);
+    frontier = next.collect(ctx);  // local reducer: retire its views now
+  }
+
+  std::vector<std::uint32_t> result(g.rows());
+  for (std::size_t i = 0; i < result.size(); ++i)
+    result[i] = dist[i].load(std::memory_order_relaxed);
+  return result;
+}
+
+/// Engine-generic parallel BFS. Returns hop distances from source.
+/// `grain` is the parallel_for grain over the frontier.
+template <typename Ctx>
+std::vector<std::uint32_t> bfs(Ctx& ctx, const csr& g, std::uint32_t source,
+                               std::uint64_t grain = 64) {
+  // A dedicated frame: collect() requires no unrelated children in flight.
+  return ctx.call([&](Ctx& bfs_frame) {
+    return bfs_in_frame(bfs_frame, g, source, grain);
+  });
+}
+
+}  // namespace cilkpp::workloads

@@ -1,0 +1,34 @@
+// Doubly recursive Fibonacci — the classic Cilk microbenchmark; nearly all
+// work is spawn overhead, which makes it the stress test for experiment E6
+// (serial overhead of spawning) and E8 (steal frequency).
+#pragma once
+
+#include <cstdint>
+
+namespace cilkpp::workloads {
+
+inline std::uint64_t fib_serial(unsigned n) {
+  return n < 2 ? n : fib_serial(n - 1) + fib_serial(n - 2);
+}
+
+/// Engine-generic fib: spawns above the cutoff, serial recursion below.
+template <typename Ctx>
+std::uint64_t fib(Ctx& ctx, unsigned n, unsigned cutoff = 0) {
+  if (n < 2) {
+    ctx.account(1);
+    return n;
+  }
+  if (n <= cutoff) {
+    const std::uint64_t r = fib_serial(n);
+    ctx.account(r);  // ≈ the number of leaf additions in the subtree
+    return r;
+  }
+  ctx.account(1);
+  std::uint64_t a = 0;
+  ctx.spawn([&a, n, cutoff](Ctx& child) { a = fib(child, n - 1, cutoff); });
+  const std::uint64_t b = fib(ctx, n - 2, cutoff);
+  ctx.sync();
+  return a + b;
+}
+
+}  // namespace cilkpp::workloads

@@ -1,0 +1,21 @@
+#include "workloads/matmul.hpp"
+
+namespace cilkpp::workloads {
+
+void matmul_serial(const std::vector<double>& a, const std::vector<double>& b,
+                   std::vector<double>& c, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t k = 0; k < n; ++k) {
+      const double aik = a[i * n + k];
+      for (std::size_t j = 0; j < n; ++j) c[i * n + j] += aik * b[k * n + j];
+    }
+}
+
+std::vector<double> random_matrix(std::size_t n, std::uint64_t seed) {
+  xoshiro256 rng(seed);
+  std::vector<double> m(n * n);
+  for (double& x : m) x = rng.unit() * 2.0 - 1.0;
+  return m;
+}
+
+}  // namespace cilkpp::workloads

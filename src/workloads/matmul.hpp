@@ -1,0 +1,112 @@
+// Divide-and-conquer matrix multiplication (paper Sec. 2.3: "matrix
+// multiplication of 1000 × 1000 matrices is highly parallel, with a
+// parallelism in the millions").
+//
+// The algorithm is the classic recursive scheme (CLRS 3e, Ch. 27, which the
+// paper cites for parallel algorithms): split C into quadrants, compute the
+// eight sub-products in two parallel groups of four — the second group into
+// a temporary that is then added to C with a parallel divide-and-conquer
+// add. Span is Θ(lg² n), so parallelism grows as n³/lg² n: millions for
+// n = 1000, exactly the paper's claim (experiment E13).
+//
+// Matrices are row-major n×n with a leading dimension, so quadrants are
+// views into the original storage.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace cilkpp::workloads {
+
+/// View of an n×n block inside a row-major matrix with leading dimension ld.
+struct matrix_view {
+  double* data = nullptr;
+  std::size_t n = 0;
+  std::size_t ld = 0;
+
+  double& at(std::size_t i, std::size_t j) const { return data[i * ld + j]; }
+  matrix_view quadrant(int qi, int qj) const {
+    const std::size_t h = n / 2;
+    return {data + static_cast<std::size_t>(qi) * h * ld +
+                static_cast<std::size_t>(qj) * h,
+            h, ld};
+  }
+};
+
+inline matrix_view as_view(std::vector<double>& storage, std::size_t n) {
+  return {storage.data(), n, n};
+}
+
+/// C += T, divide-and-conquer over quadrants.
+template <typename Ctx>
+void matrix_add(Ctx& ctx, matrix_view c, matrix_view t, std::size_t leaf) {
+  if (c.n <= leaf) {
+    for (std::size_t i = 0; i < c.n; ++i)
+      for (std::size_t j = 0; j < c.n; ++j) c.at(i, j) += t.at(i, j);
+    ctx.account(c.n * c.n);
+    return;
+  }
+  ctx.account(1);
+  for (int qi = 0; qi < 2; ++qi) {
+    for (int qj = 0; qj < 2; ++qj) {
+      if (qi == 1 && qj == 1) break;  // last quadrant runs in this frame
+      ctx.spawn([=](Ctx& child) {
+        matrix_add(child, c.quadrant(qi, qj), t.quadrant(qi, qj), leaf);
+      });
+    }
+  }
+  matrix_add(ctx, c.quadrant(1, 1), t.quadrant(1, 1), leaf);
+  ctx.sync();
+}
+
+/// C += A·B. n must be a power of two ≥ leaf. Temporary storage for the
+/// second product group is allocated per recursion level.
+template <typename Ctx>
+void matmul_add(Ctx& ctx, matrix_view c, matrix_view a, matrix_view b,
+                std::size_t leaf) {
+  const std::size_t n = c.n;
+  if (n <= leaf) {
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t k = 0; k < n; ++k) {
+        const double aik = a.at(i, k);
+        for (std::size_t j = 0; j < n; ++j) c.at(i, j) += aik * b.at(k, j);
+      }
+    ctx.account(2 * n * n * n);
+    return;
+  }
+  ctx.account(1);
+
+  // All eight quadrant products run in parallel (CLRS P-MATRIX-MULTIPLY-
+  // RECURSIVE): C_ij += A_i0·B_0j directly, T_ij = A_i1·B_1j into a
+  // temporary, then a parallel C += T. Span recurrence
+  // M(n) = M(n/2) + Θ(lg n) = Θ(lg² n).
+  std::vector<double> temp_storage(n * n, 0.0);
+  matrix_view t{temp_storage.data(), n, n};
+  for (int qi = 0; qi < 2; ++qi)
+    for (int qj = 0; qj < 2; ++qj) {
+      ctx.spawn([=](Ctx& child) {
+        matmul_add(child, c.quadrant(qi, qj), a.quadrant(qi, 0),
+                   b.quadrant(0, qj), leaf);
+      });
+      if (qi == 1 && qj == 1) break;  // final product runs in this frame
+      ctx.spawn([=](Ctx& child) {
+        matmul_add(child, t.quadrant(qi, qj), a.quadrant(qi, 1),
+                   b.quadrant(1, qj), leaf);
+      });
+    }
+  matmul_add(ctx, t.quadrant(1, 1), a.quadrant(1, 1), b.quadrant(1, 1), leaf);
+  ctx.sync();
+
+  matrix_add(ctx, c, t, leaf);
+}
+
+/// Reference serial multiply for correctness checks.
+void matmul_serial(const std::vector<double>& a, const std::vector<double>& b,
+                   std::vector<double>& c, std::size_t n);
+
+/// Deterministic random matrix.
+std::vector<double> random_matrix(std::size_t n, std::uint64_t seed);
+
+}  // namespace cilkpp::workloads

@@ -1,0 +1,78 @@
+// N-queens solution counting — the classic irregular spawn tree with a sum
+// reducer; used by the examples and the steal-frequency experiment.
+#pragma once
+
+#include <cstdint>
+
+#include "hyper/monoid.hpp"
+#include "hyper/reducer.hpp"
+
+namespace cilkpp::workloads {
+
+namespace detail {
+
+inline std::uint64_t nqueens_serial(int n, int row, std::uint32_t cols,
+                                    std::uint32_t diag1, std::uint32_t diag2) {
+  if (row == n) return 1;
+  std::uint64_t count = 0;
+  const std::uint32_t mask = (1u << n) - 1;
+  std::uint32_t free = mask & ~(cols | diag1 | diag2);
+  while (free != 0) {
+    const std::uint32_t bit = free & (0u - free);
+    free ^= bit;
+    count += nqueens_serial(n, row + 1, cols | bit, (diag1 | bit) << 1,
+                            (diag2 | bit) >> 1);
+  }
+  return count;
+}
+
+template <typename Ctx>
+void nqueens_walk(Ctx& ctx, int n, int row, std::uint32_t cols,
+                  std::uint32_t diag1, std::uint32_t diag2, int spawn_depth,
+                  hyper::reducer<hyper::opadd<std::uint64_t>>& solutions) {
+  if (row == n) {
+    ctx.account(1);
+    solutions.view(ctx) += 1;
+    return;
+  }
+  const std::uint32_t mask = (1u << n) - 1;
+  std::uint32_t free = mask & ~(cols | diag1 | diag2);
+  ctx.account(1);
+  if (row >= spawn_depth) {
+    solutions.view(ctx) += nqueens_serial(n, row, cols, diag1, diag2);
+    ctx.account(1u << (n - row > 8 ? 8 : n - row));  // rough subtree charge
+    return;
+  }
+  while (free != 0) {
+    const std::uint32_t bit = free & (0u - free);
+    free ^= bit;
+    ctx.spawn([=, &solutions](Ctx& child) {
+      nqueens_walk(child, n, row + 1, cols | bit, (diag1 | bit) << 1,
+                   (diag2 | bit) >> 1, spawn_depth, solutions);
+    });
+  }
+  ctx.sync();
+}
+
+}  // namespace detail
+
+/// Engine-generic count of n-queens placements; spawns the first
+/// `spawn_depth` rows, solves the rest serially.
+template <typename Ctx>
+std::uint64_t nqueens(Ctx& ctx, int n, int spawn_depth = 3) {
+  hyper::reducer<hyper::opadd<std::uint64_t>> solutions;
+  // Collect inside the dedicated frame: collect() requires a frame with no
+  // unrelated children in flight, which the caller cannot guarantee.
+  return ctx.call([&](Ctx& frame) {
+    detail::nqueens_walk(frame, n, 0, 0, 0, 0, spawn_depth, solutions);
+    frame.sync();
+    return solutions.collect(frame);
+  });
+}
+
+/// Serial reference.
+inline std::uint64_t nqueens_serial(int n) {
+  return detail::nqueens_serial(n, 0, 0, 0, 0);
+}
+
+}  // namespace cilkpp::workloads

@@ -1,0 +1,58 @@
+// Parallel quicksort — the paper's Fig. 1 program.
+//
+// Engine-generic: Ctx may be the real runtime (rt::context), the serial
+// elision (rt::serial_context), the dag recorder (dag::recorder_context) or
+// the race detector (screen::screen_context). account() charges the
+// instruction costs the recorder turns into the Fig. 3 dag: one unit per
+// element partitioned, and n·ceil(lg n) for a serial leaf sort.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <iterator>
+#include <cstdint>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace cilkpp::workloads {
+
+inline std::uint64_t serial_sort_cost(std::uint64_t n) {
+  if (n < 2) return n;
+  return n * std::bit_width(n - 1);  // n · ceil(lg n)
+}
+
+/// Iterator-generic, exactly like Fig. 1's template <typename T> qsort(T
+/// begin, T end); raw pointers, vector iterators, deque iterators all work.
+template <typename Ctx, typename It>
+void qsort(Ctx& ctx, It begin, It end, std::size_t cutoff = 512) {
+  using value_type = typename std::iterator_traits<It>::value_type;
+  const auto n = static_cast<std::uint64_t>(end - begin);
+  if (n <= cutoff || n < 2) {
+    std::sort(begin, end);
+    ctx.account(serial_sort_cost(n));
+    return;
+  }
+  // Fig. 1 line 11: partition around the first element.
+  const value_type pivot = *begin;
+  It middle = std::partition(begin, end,
+                             [&](const value_type& x) { return x < pivot; });
+  ctx.account(n);  // the partition pass touches every element — serially
+
+  // Fig. 1 lines 12-14.
+  ctx.spawn([begin, middle, cutoff](Ctx& child) {
+    qsort(child, begin, middle, cutoff);
+  });
+  qsort(ctx, std::max(begin + 1, middle), end, cutoff);
+  ctx.sync();
+}
+
+/// Deterministic input data for the sorting experiments.
+inline std::vector<double> random_doubles(std::size_t n, std::uint64_t seed) {
+  xoshiro256 rng(seed);
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.unit();
+  return v;
+}
+
+}  // namespace cilkpp::workloads

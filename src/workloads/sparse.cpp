@@ -1,0 +1,75 @@
+#include "workloads/sparse.hpp"
+
+#include <limits>
+
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+
+namespace cilkpp::workloads {
+
+csr random_graph(std::uint32_t vertices, std::uint32_t avg_degree,
+                 std::uint64_t seed) {
+  CILKPP_ASSERT(vertices > 1, "graph needs at least two vertices");
+  xoshiro256 rng(seed);
+  csr g;
+  g.row_begin.reserve(vertices + 1);
+  g.row_begin.push_back(0);
+  for (std::uint32_t v = 0; v < vertices; ++v) {
+    // Degree in [0, 2·avg]: keeps irregularity while fixing the mean.
+    const std::uint64_t degree = rng.below(2 * avg_degree + 1);
+    for (std::uint64_t e = 0; e < degree; ++e) {
+      auto target = static_cast<std::uint32_t>(rng.below(vertices - 1));
+      if (target >= v) ++target;  // no self-loop
+      g.col.push_back(target);
+    }
+    g.row_begin.push_back(static_cast<std::uint32_t>(g.col.size()));
+  }
+  return g;
+}
+
+csr random_sparse_matrix(std::uint32_t n, std::uint32_t avg_nnz_per_row,
+                         std::uint64_t seed) {
+  csr a = random_graph(n, avg_nnz_per_row, seed);
+  a.value.resize(a.col.size());
+  xoshiro256 rng(seed ^ 0xabcdef0123456789ULL);
+  for (double& v : a.value) v = rng.unit() * 2.0 - 1.0;
+  return a;
+}
+
+std::vector<std::uint32_t> bfs_serial(const csr& g, std::uint32_t source) {
+  constexpr auto unreachable = std::numeric_limits<std::uint32_t>::max();
+  std::vector<std::uint32_t> dist(g.rows(), unreachable);
+  std::vector<std::uint32_t> frontier{source};
+  dist[source] = 0;
+  std::uint32_t level = 0;
+  while (!frontier.empty()) {
+    ++level;
+    std::vector<std::uint32_t> next;
+    for (std::uint32_t u : frontier) {
+      for (std::uint32_t e = g.row_begin[u]; e < g.row_begin[u + 1]; ++e) {
+        const std::uint32_t v = g.col[e];
+        if (dist[v] == unreachable) {
+          dist[v] = level;
+          next.push_back(v);
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  return dist;
+}
+
+std::vector<double> spmv_serial(const csr& a, const std::vector<double>& x) {
+  CILKPP_ASSERT(x.size() == a.rows(), "dimension mismatch");
+  std::vector<double> y(a.rows(), 0.0);
+  for (std::uint32_t i = 0; i < a.rows(); ++i) {
+    double acc = 0.0;
+    for (std::uint32_t e = a.row_begin[i]; e < a.row_begin[i + 1]; ++e) {
+      acc += a.value[e] * x[a.col[e]];
+    }
+    y[i] = acc;
+  }
+  return y;
+}
+
+}  // namespace cilkpp::workloads

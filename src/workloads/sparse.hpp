@@ -1,0 +1,42 @@
+// Sparse substrates for the Sec. 2.3 parallelism survey: a CSR graph for
+// breadth-first search ("problems on large irregular graphs, such as
+// breadth-first search, generally exhibit parallelism on the order of
+// thousands") and a CSR matrix for sparse matrix–vector product ("sparse
+// matrix algorithms can often exhibit parallelism in the hundreds").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace cilkpp::workloads {
+
+/// Compressed-sparse-row graph/matrix skeleton.
+struct csr {
+  std::vector<std::uint32_t> row_begin;  ///< size = rows + 1
+  std::vector<std::uint32_t> col;        ///< size = nnz
+  std::vector<double> value;             ///< empty for unweighted graphs
+
+  std::uint32_t rows() const {
+    return static_cast<std::uint32_t>(row_begin.size() - 1);
+  }
+  std::size_t nnz() const { return col.size(); }
+};
+
+/// Uniform random directed graph: `vertices` vertices, about `avg_degree`
+/// out-edges each. Deterministic in seed; no self-loops.
+csr random_graph(std::uint32_t vertices, std::uint32_t avg_degree,
+                 std::uint64_t seed);
+
+/// Random square sparse matrix with about `avg_nnz_per_row` entries per row
+/// (values in [-1, 1)).
+csr random_sparse_matrix(std::uint32_t n, std::uint32_t avg_nnz_per_row,
+                         std::uint64_t seed);
+
+/// Serial BFS reference: distance (in hops) from source, or UINT32_MAX if
+/// unreachable.
+std::vector<std::uint32_t> bfs_serial(const csr& g, std::uint32_t source);
+
+/// Serial SpMV reference: y = A·x.
+std::vector<double> spmv_serial(const csr& a, const std::vector<double>& x);
+
+}  // namespace cilkpp::workloads

@@ -1,0 +1,54 @@
+#include "workloads/treewalk.hpp"
+
+#include "support/rng.hpp"
+
+namespace cilkpp::workloads {
+
+bool collides(const collision_model& model, std::uint64_t id) {
+  // A data-dependent arithmetic chain of model.cost steps; the final state
+  // decides the outcome, so none of it can be elided.
+  std::uint64_t acc = id * 0x9e3779b97f4a7c15ULL + 0x2545f4914f6cdd1dULL;
+  for (std::uint64_t i = 0; i < model.cost; ++i) {
+    acc ^= acc >> 33;
+    acc *= 0xff51afd7ed558ccdULL;
+  }
+  return (acc >> 32) % 1024 < model.threshold;
+}
+
+namespace {
+
+std::unique_ptr<assembly_node> build_node(unsigned depth, std::uint64_t& next_id,
+                                          const collision_model& model,
+                                          std::size_t& hits) {
+  auto node = std::make_unique<assembly_node>();
+  node->id = next_id++;
+  if (collides(model, node->id)) ++hits;
+  if (depth > 0) {
+    node->left = build_node(depth - 1, next_id, model, hits);
+    node->right = build_node(depth - 1, next_id, model, hits);
+  }
+  return node;
+}
+
+}  // namespace
+
+assembly build_assembly(unsigned depth, const collision_model& model,
+                        std::uint64_t seed) {
+  assembly result;
+  std::uint64_t next_id = seed * 0x100000001ULL + 1;  // nonzero, seed-disjoint
+  std::size_t hits = 0;
+  result.root = build_node(depth, next_id, model, hits);
+  result.node_count = (std::size_t{2} << depth) - 1;
+  result.hit_count = hits;
+  return result;
+}
+
+void walk_serial(const assembly_node* x, const collision_model& model,
+                 std::list<std::uint64_t>& output_list) {
+  if (x == nullptr) return;
+  if (collides(model, x->id)) output_list.push_back(x->id);
+  walk_serial(x->left.get(), model, output_list);
+  walk_serial(x->right.get(), model, output_list);
+}
+
+}  // namespace cilkpp::workloads

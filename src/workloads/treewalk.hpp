@@ -1,0 +1,98 @@
+// The Sec. 5 tree walk (Figs. 4–7): collect every node of a binary tree
+// that satisfies a property, in serial order.
+//
+// The paper's motivating anecdote: "on one set of test inputs for a
+// real-world tree-walking code that performs collision-detection of
+// mechanical assemblies, lock contention actually degraded performance on 4
+// processors so that it was worse than running on a single processor."
+// That code is proprietary; workloads::assembly is the synthetic stand-in
+// (DESIGN.md substitution #4): a complete binary "assembly" whose per-node
+// collision test burns `cost` instructions and reports a collision with
+// probability `threshold`/1024 — so hit density (list/lock pressure) and
+// per-node work are independent experiment knobs.
+//
+// Three variants, straight from the paper's figures:
+//   walk_serial   — Fig. 4: plain C++, the baseline;
+//   walk_mutex    — Fig. 6: cilk_spawn + a mutex around the list update;
+//   walk_reducer  — Fig. 7: cilk_spawn + a reducer_list_append.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+
+#include "hyper/monoid.hpp"
+#include "hyper/reducer.hpp"
+
+namespace cilkpp::workloads {
+
+/// The synthetic collision test. `cost` is the per-node work in
+/// instructions; a node collides when its hash falls below threshold/1024.
+struct collision_model {
+  std::uint64_t cost = 100;
+  std::uint64_t threshold = 128;  ///< hits per 1024 nodes (hit density)
+};
+
+/// Burns model.cost arithmetic steps on the node id and returns whether the
+/// node collides. Deterministic in (id, model); defined out of line so the
+/// optimizer cannot elide the work.
+bool collides(const collision_model& model, std::uint64_t id);
+
+struct assembly_node {
+  std::uint64_t id = 0;
+  std::unique_ptr<assembly_node> left, right;
+};
+
+struct assembly {
+  std::unique_ptr<assembly_node> root;
+  std::size_t node_count = 0;
+  std::size_t hit_count = 0;  ///< number of colliding nodes under `model`
+};
+
+/// Builds a complete binary assembly of the given depth (2^(depth+1) - 1
+/// nodes) and counts its collisions under `model`.
+assembly build_assembly(unsigned depth, const collision_model& model,
+                        std::uint64_t seed);
+
+/// Fig. 4 — serial walk. Appends colliding ids in walk order.
+void walk_serial(const assembly_node* x, const collision_model& model,
+                 std::list<std::uint64_t>& output_list);
+
+/// Fig. 6 — parallel walk with a mutex-protected list. Ordering of the
+/// output list is scheduling-dependent (one of the paper's complaints about
+/// the locking fix).
+template <typename Ctx, typename MutexT>
+void walk_mutex(Ctx& ctx, const assembly_node* x, const collision_model& model,
+                MutexT& mutex, std::list<std::uint64_t>& output_list) {
+  if (x == nullptr) return;
+  ctx.account(model.cost + 1);
+  if (collides(model, x->id)) {
+    mutex.lock();
+    output_list.push_back(x->id);
+    mutex.unlock();
+  }
+  ctx.spawn([&, left = x->left.get()](Ctx& c) {
+    walk_mutex(c, left, model, mutex, output_list);
+  });
+  walk_mutex(ctx, x->right.get(), model, mutex, output_list);
+  ctx.sync();
+}
+
+/// Fig. 7 — parallel walk with a reducer hyperobject. The output list is
+/// guaranteed to equal the serial walk's, element for element.
+template <typename Ctx>
+void walk_reducer(Ctx& ctx, const assembly_node* x, const collision_model& model,
+                  hyper::reducer<hyper::list_append<std::uint64_t>>& output_list) {
+  if (x == nullptr) return;
+  ctx.account(model.cost + 1);
+  if (collides(model, x->id)) {
+    output_list.view(ctx).push_back(x->id);
+  }
+  ctx.spawn([&, left = x->left.get()](Ctx& c) {
+    walk_reducer(c, left, model, output_list);
+  });
+  walk_reducer(ctx, x->right.get(), model, output_list);
+  ctx.sync();
+}
+
+}  // namespace cilkpp::workloads

@@ -1,0 +1,419 @@
+// Tests for reducer hyperobjects (paper Sec. 5).
+//
+// The crucial property, quoted from the paper: "Cilk++ carefully maintains
+// the proper ordering so that the resulting list contains the identical
+// elements in the same order as in a serial execution." The determinism
+// sweeps below check exactly that, across worker counts and repeated runs.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <string>
+#include <cmath>
+#include <vector>
+
+#include "hyper/holder.hpp"
+#include "hyper/monoid.hpp"
+#include "hyper/reducer.hpp"
+#include "hyper/reducers.hpp"
+#include "runtime/parallel_for.hpp"
+#include "runtime/scheduler.hpp"
+#include "runtime/serial.hpp"
+
+namespace cilkpp::hyper {
+namespace {
+
+using rt::context;
+using rt::scheduler;
+using rt::serial_context;
+
+// --- Monoid laws (property tests). ---
+
+template <typename M>
+void check_monoid_laws(std::vector<typename M::value_type> samples) {
+  using V = typename M::value_type;
+  // Identity: e ⊗ x == x and x ⊗ e == x.
+  for (const V& x : samples) {
+    V left = M::identity();
+    M::reduce(left, V(x));
+    V right = V(x);
+    M::reduce(right, M::identity());
+    EXPECT_EQ(left, x);
+    EXPECT_EQ(right, x);
+  }
+  // Associativity: (a ⊗ b) ⊗ c == a ⊗ (b ⊗ c).
+  for (const V& a : samples)
+    for (const V& b : samples)
+      for (const V& c : samples) {
+        V lhs = V(a);
+        M::reduce(lhs, V(b));
+        M::reduce(lhs, V(c));
+        V bc = V(b);
+        M::reduce(bc, V(c));
+        V rhs = V(a);
+        M::reduce(rhs, std::move(bc));
+        EXPECT_EQ(lhs, rhs);
+      }
+}
+
+TEST(MonoidLaws, OpAdd) { check_monoid_laws<opadd<int>>({-3, 0, 7, 100}); }
+TEST(MonoidLaws, OpMul) { check_monoid_laws<opmul<long>>({1, 2, -5, 3}); }
+TEST(MonoidLaws, OpAnd) {
+  check_monoid_laws<opand<unsigned>>({0u, 0xffu, 0xf0u, 0x3cu});
+}
+TEST(MonoidLaws, OpOr) { check_monoid_laws<opor<unsigned>>({0u, 1u, 8u, 0xffu}); }
+TEST(MonoidLaws, OpXor) { check_monoid_laws<opxor<unsigned>>({0u, 5u, 9u}); }
+TEST(MonoidLaws, OpMin) { check_monoid_laws<opmin<int>>({3, -2, 100, 3}); }
+TEST(MonoidLaws, OpMax) { check_monoid_laws<opmax<int>>({3, -2, 100, 3}); }
+TEST(MonoidLaws, StringConcat) {
+  check_monoid_laws<string_concat>({"", "a", "bc", "ddd"});
+}
+TEST(MonoidLaws, ListAppend) {
+  check_monoid_laws<list_append<int>>({{}, {1}, {2, 3}, {4, 5, 6}});
+}
+TEST(MonoidLaws, VectorAppend) {
+  check_monoid_laws<vector_append<int>>({{}, {1}, {2, 3}});
+}
+
+TEST(MonoidLaws, MinIndexKeepsEarliestTie) {
+  using M = opmin_index<int, int>;
+  M::value_type a{.value = 5, .index = 2, .valid = true};
+  M::value_type b{.value = 5, .index = 9, .valid = true};
+  M::reduce(a, std::move(b));
+  EXPECT_EQ(a.index, 2);  // serially earliest occurrence wins ties
+  M::value_type empty = M::identity();
+  M::reduce(empty, M::value_type{.value = 1, .index = 4, .valid = true});
+  EXPECT_TRUE(empty.valid);
+  EXPECT_EQ(empty.index, 4);
+}
+
+// --- Sum reducer under the real scheduler. ---
+
+class ReducerSum : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ReducerSum, ParallelForSumMatches) {
+  scheduler sched(GetParam());
+  reducer<opadd<std::int64_t>> sum;
+  constexpr int n = 100000;
+  sched.run([&](context& ctx) {
+    rt::parallel_for(ctx, 0, n,
+                     [&](context& leaf, int i) { sum.view(leaf) += i; }, 64);
+  });
+  EXPECT_EQ(sum.value(), static_cast<std::int64_t>(n) * (n - 1) / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkerCounts, ReducerSum,
+                         ::testing::Values(1u, 2u, 4u, 8u));
+
+// NOTE: the body above takes the leaf frame's context — the required idiom
+// for reducer access inside parallel_for; fetching a view through an outer
+// frame's context would share one view across concurrent strands.
+
+TEST(Reducer, ViewAccessedThroughLeafContexts) {
+  scheduler sched(4);
+  reducer<opadd<std::int64_t>> sum;
+  std::function<void(context&, int)> walk = [&](context& ctx, int depth) {
+    sum.view(ctx) += 1;
+    if (depth == 0) return;
+    ctx.spawn([&walk, depth](context& child) { walk(child, depth - 1); });
+    walk(ctx, depth - 1);
+    ctx.sync();
+  };
+  sched.run([&](context& ctx) { walk(ctx, 12); });
+  EXPECT_EQ(sum.value(), (1 << 13) - 1);  // nodes of a depth-12 binary tree
+}
+
+TEST(Reducer, InitialValueStaysLeftmost) {
+  scheduler sched(4);
+  reducer<string_concat> text(std::string("start:"));
+  sched.run([&](context& ctx) {
+    ctx.spawn([&](context& c) { text.view(c) += "A"; });
+    text.view(ctx) += "B";
+    ctx.sync();
+  });
+  // Serial order: spawn's child runs before the continuation in the elision.
+  EXPECT_EQ(text.value(), "start:AB");
+}
+
+TEST(Reducer, TakeResetsToIdentity) {
+  reducer<opadd<int>> sum;
+  scheduler sched(2);
+  sched.run([&](context& ctx) { sum.view(ctx) += 41; });
+  EXPECT_EQ(sum.take(), 41);
+  EXPECT_EQ(sum.value(), 0);
+  sched.run([&](context& ctx) { sum.view(ctx) += 1; });
+  EXPECT_EQ(sum.value(), 1);
+}
+
+// --- Ordered reduction: the paper's headline reducer guarantee. ---
+
+// The Fig. 5/7 tree walk: emit every node's label, left subtree spawned.
+struct tree_node {
+  int label;
+  std::unique_ptr<tree_node> left, right;
+};
+
+std::unique_ptr<tree_node> build_tree(int& next_label, int depth) {
+  if (depth < 0) return nullptr;
+  auto node = std::make_unique<tree_node>();
+  node->left = build_tree(next_label, depth - 1);
+  node->label = next_label++;
+  node->right = build_tree(next_label, depth - 1);
+  return node;
+}
+
+void walk_runtime(context& ctx, const tree_node* x,
+                  reducer<list_append<int>>& out) {
+  if (!x) return;
+  out.view(ctx).push_back(x->label);
+  ctx.spawn([&out, left = x->left.get()](context& c) {
+    walk_runtime(c, left, out);
+  });
+  walk_runtime(ctx, x->right.get(), out);
+  ctx.sync();
+}
+
+void walk_serial(serial_context& ctx, const tree_node* x,
+                 reducer<list_append<int>>& out) {
+  if (!x) return;
+  out.view(ctx).push_back(x->label);
+  ctx.spawn([&out, left = x->left.get()](serial_context& c) {
+    walk_serial(c, left, out);
+  });
+  walk_serial(ctx, x->right.get(), out);
+  ctx.sync();
+}
+
+class OrderedReduction : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(OrderedReduction, ListMatchesSerialExecutionOrder) {
+  int next = 0;
+  const auto tree = build_tree(next, 7);  // 255 nodes
+
+  // Ground truth: the serial elision's order.
+  reducer<list_append<int>> serial_out;
+  serial_context serial_root;
+  walk_serial(serial_root, tree.get(), serial_out);
+  const std::list<int> expected = serial_out.take();
+  EXPECT_EQ(expected.size(), 255u);
+
+  // Parallel runs must produce the identical sequence, every time.
+  scheduler sched(GetParam());
+  for (int round = 0; round < 5; ++round) {
+    reducer<list_append<int>> out;
+    sched.run([&](context& ctx) { walk_runtime(ctx, tree.get(), out); });
+    EXPECT_EQ(out.value(), expected) << "round " << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkerCounts, OrderedReduction,
+                         ::testing::Values(1u, 2u, 3u, 4u, 8u));
+
+TEST(OrderedReductionMore, StringConcatAcrossParallelFor) {
+  // Non-commutative monoid through the cilk_for lowering: result must be
+  // the in-order concatenation regardless of scheduling.
+  std::string expected;
+  for (int i = 0; i < 200; ++i) expected += static_cast<char>('a' + i % 26);
+
+  scheduler sched(4);
+  for (int round = 0; round < 5; ++round) {
+    reducer<string_concat> text;
+    sched.run([&](context& ctx) {
+      rt::parallel_for(ctx, 0, 200, [&](context& leaf, int i) {
+        text.view(leaf) += static_cast<char>('a' + i % 26);
+      }, 8);
+    });
+    EXPECT_EQ(text.value(), expected) << "round " << round;
+  }
+}
+
+TEST(OrderedReductionMore, InterleavedSpawnsAndContinuationUpdates) {
+  // Updates alternate: continuation, child, continuation, child …
+  // Serial order is u0 c0 u1 c1 u2; fold must reassemble exactly that.
+  scheduler sched(4);
+  for (int round = 0; round < 10; ++round) {
+    reducer<string_concat> text;
+    sched.run([&](context& ctx) {
+      text.view(ctx) += "u0.";
+      ctx.spawn([&](context& c) { text.view(c) += "c0."; });
+      text.view(ctx) += "u1.";
+      ctx.spawn([&](context& c) { text.view(c) += "c1."; });
+      text.view(ctx) += "u2.";
+      ctx.sync();
+    });
+    // Serial elision order: u0, then c0 (spawn = call), then u1, c1, u2.
+    EXPECT_EQ(text.value(), "u0.c0.u1.c1.u2.") << "round " << round;
+  }
+}
+
+TEST(OrderedReductionMore, CalledFrameUpdatesFoldInPlace) {
+  scheduler sched(2);
+  reducer<string_concat> text;
+  sched.run([&](context& ctx) {
+    text.view(ctx) += "a";
+    ctx.call([&](context& callee) { text.view(callee) += "b"; });
+    text.view(ctx) += "c";
+  });
+  EXPECT_EQ(text.value(), "abc");
+}
+
+// --- Multiple reducers in one computation. ---
+
+TEST(Reducer, IndependentReducersDoNotInterfere) {
+  scheduler sched(4);
+  reducer<opadd<std::int64_t>> sum;
+  reducer<opmax<int>> biggest;
+  reducer<vector_append<int>> evens;
+  sched.run([&](context& ctx) {
+    rt::parallel_for(ctx, 0, 10000, [&](context& leaf, int i) {
+      sum.view(leaf) += i;
+      if (i % 2 == 0) evens.view(leaf).push_back(i);
+      auto& m = biggest.view(leaf);
+      if (i > m) m = i;
+    }, 32);
+  });
+  EXPECT_EQ(sum.value(), 10000LL * 9999 / 2);
+  EXPECT_EQ(biggest.value(), 9999);
+  ASSERT_EQ(evens.value().size(), 5000u);
+  for (int i = 0; i < 5000; ++i) EXPECT_EQ(evens.value()[i], 2 * i);
+}
+
+// --- Named reducers and reducer_ostream. ---
+
+TEST(NamedReducers, CilkStyleAliasesWork) {
+  scheduler sched(4);
+  reducer_opadd<std::int64_t> sum;
+  reducer_max<int> peak;
+  reducer_min_index<int, int> lowest;
+  sched.run([&](context& ctx) {
+    rt::parallel_for(ctx, 0, 1000, [&](context& leaf, int i) {
+      sum.view(leaf) += i;
+      auto& m = peak.view(leaf);
+      if (i > m) m = i;
+      auto& mi = lowest.view(leaf);
+      const int key = (i * 37) % 1000;
+      if (!mi.valid || key < mi.value) {
+        mi = {.value = key, .index = i, .valid = true};
+      }
+    }, 16);
+  });
+  EXPECT_EQ(sum.value(), 999LL * 1000 / 2);
+  EXPECT_EQ(peak.value(), 999);
+  EXPECT_TRUE(lowest.value().valid);
+  EXPECT_EQ(lowest.value().value, 0);
+  EXPECT_EQ((lowest.value().index * 37) % 1000, 0);
+}
+
+TEST(ReducerOstream, OutputAppearsInSerialOrder) {
+  std::ostringstream sink;
+  reducer_ostream out(sink);
+  scheduler sched(4);
+  for (int round = 0; round < 3; ++round) {
+    sched.run([&](context& ctx) {
+      rt::parallel_for(ctx, 0, 50, [&](context& leaf, int i) {
+        out.view(leaf) << i << ";";
+      }, 4);
+    });
+    out.flush();
+    std::string expected;
+    for (int i = 0; i < 50; ++i) expected += std::to_string(i) + ";";
+    EXPECT_EQ(sink.str(), expected) << "round " << round;
+    sink.str("");
+  }
+}
+
+TEST(NamedReducers, StatsAccumulatorReducer) {
+  // Parallel Welford statistics: count/min/max exact, mean/variance within
+  // floating-point reassociation tolerance of the serial pass.
+  scheduler sched(4);
+  reducer<stats_accumulate> stats;
+  constexpr int n = 50000;
+  sched.run([&](context& ctx) {
+    rt::parallel_for(ctx, 0, n, [&](context& leaf, int i) {
+      stats.view(leaf).add(std::sin(static_cast<double>(i)));
+    }, 64);
+  });
+  accumulator serial;
+  for (int i = 0; i < n; ++i) serial.add(std::sin(static_cast<double>(i)));
+  EXPECT_EQ(stats.value().count(), serial.count());
+  EXPECT_DOUBLE_EQ(stats.value().min(), serial.min());
+  EXPECT_DOUBLE_EQ(stats.value().max(), serial.max());
+  EXPECT_NEAR(stats.value().mean(), serial.mean(), 1e-9);
+  EXPECT_NEAR(stats.value().variance(), serial.variance(), 1e-6);
+}
+
+// --- Serial engines see the leftmost value directly. ---
+
+TEST(Reducer, SerialEngineViewsAreTheValueItself) {
+  reducer<opadd<int>> sum(10);
+  serial_context root;
+  sum.view(root) += 5;
+  root.spawn([&](serial_context& c) { sum.view(c) += 7; });
+  EXPECT_EQ(sum.value(), 22);  // immediately visible: no views were split
+}
+
+// --- Holder. ---
+
+TEST(Holder, ScratchIsIsolatedPerStrand) {
+  scheduler sched(4);
+  holder<std::vector<int>> scratch;
+  reducer<opadd<std::int64_t>> checksum;
+  sched.run([&](context& ctx) {
+    rt::parallel_for(ctx, 0, 1000, [&](context& leaf, int i) {
+      auto& buf = scratch.view(leaf);
+      buf.clear();  // safe: private to this strand
+      for (int k = 0; k < 10; ++k) buf.push_back(i + k);
+      std::int64_t s = 0;
+      for (int v : buf) s += v;
+      checksum.view(leaf) += s;
+    }, 16);
+  });
+  // Each iteration contributes 10i + 45.
+  EXPECT_EQ(checksum.value(), 10LL * (999 * 1000 / 2) + 45LL * 1000);
+}
+
+TEST(Holder, KeepLastObservesSeriallyLastWrite) {
+  // keep_last: after the run, the holder holds what the serially last
+  // strand wrote — regardless of actual execution order.
+  scheduler sched(4);
+  for (int round = 0; round < 5; ++round) {
+    holder<int, holder_policy::keep_last> h;
+    sched.run([&](context& ctx) {
+      rt::parallel_for(ctx, 0, 100, [&](context& leaf, int i) {
+        h.view(leaf) = i;  // each strand writes its index
+      }, 4);
+    });
+    EXPECT_EQ(h.last_value(), 99) << "round " << round;
+  }
+}
+
+TEST(Holder, KeepLastThroughSpawns) {
+  scheduler sched(3);
+  holder<std::string, holder_policy::keep_last> h;
+  sched.run([&](context& ctx) {
+    ctx.spawn([&](context& c) { h.view(c) = "child1"; });
+    ctx.spawn([&](context& c) { h.view(c) = "child2"; });
+    h.view(ctx) = "continuation";  // serially last updater of this frame
+    ctx.sync();
+  });
+  EXPECT_EQ(h.last_value(), "continuation");
+}
+
+TEST(Holder, PrototypeSeedsFreshViews) {
+  scheduler sched(2);
+  holder<std::string> h(std::string("seed"));
+  std::atomic<int> seeded{0};
+  sched.run([&](context& ctx) {
+    for (int i = 0; i < 20; ++i) {
+      ctx.spawn([&](context& c) {
+        if (h.view(c) == "seed") seeded.fetch_add(1);
+      });
+    }
+    ctx.sync();
+  });
+  EXPECT_EQ(seeded.load(), 20);
+}
+
+}  // namespace
+}  // namespace cilkpp::hyper

@@ -1,0 +1,208 @@
+// Unit tests for src/support: rng, stats, table, small_vector.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "support/rng.hpp"
+#include "support/small_vector.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+namespace cilkpp {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  xoshiro256 a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a();
+    EXPECT_EQ(va, b());
+    if (i == 0) EXPECT_NE(va, c());
+  }
+}
+
+TEST(Rng, BelowStaysInRange) {
+  xoshiro256 rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+  xoshiro256 rng(9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowCoversAllResidues) {
+  xoshiro256 rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, UnitInHalfOpenInterval) {
+  xoshiro256 rng(13);
+  for (int i = 0; i < 500; ++i) {
+    const double u = rng.unit();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, SplitmixProducesDistinctStreams) {
+  std::uint64_t s = 0;
+  const auto a = splitmix64(s);
+  const auto b = splitmix64(s);
+  EXPECT_NE(a, b);
+}
+
+TEST(Accumulator, BasicMoments) {
+  accumulator acc;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(x);
+  EXPECT_EQ(acc.count(), 8u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+  EXPECT_NEAR(acc.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(acc.sum(), 40.0);
+}
+
+TEST(Accumulator, SingleSampleHasZeroVariance) {
+  accumulator acc;
+  acc.add(3.5);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.mean(), 3.5);
+}
+
+TEST(Accumulator, MergeMatchesSequential) {
+  accumulator whole, left, right;
+  xoshiro256 rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const double x = rng.unit() * 10;
+    whole.add(x);
+    (i < 37 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(Accumulator, MergeWithEmptyIsIdentity) {
+  accumulator a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  accumulator b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+TEST(Histogram, CountsAndClamping) {
+  histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(5.5);
+  h.add(-3.0);   // clamps into bucket 0
+  h.add(100.0);  // clamps into bucket 9
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(5), 1u);
+  EXPECT_EQ(h.bucket_count(9), 1u);
+}
+
+TEST(Histogram, PercentileBucketResolution) {
+  histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(i + 0.5);
+  EXPECT_NEAR(h.percentile(0.5), 51.0, 1.01);
+  EXPECT_NEAR(h.percentile(0.99), 100.0, 1.01);
+}
+
+TEST(Table, AlignedOutputContainsAllCells) {
+  table t{"P", "speedup"};
+  t.row(4, 3.97);
+  t.row(16, 10.31);
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("P"), std::string::npos);
+  EXPECT_NE(s.find("3.97"), std::string::npos);
+  EXPECT_NE(s.find("10.31"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, CsvRendering) {
+  table t{"a", "b"};
+  t.row(1, std::string("x"));
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,x\n");
+}
+
+TEST(Table, IntegralDoubleRendering) {
+  EXPECT_EQ(table::format_cell(3.0), "3");
+  EXPECT_EQ(table::format_cell(3.25), "3.25");
+  EXPECT_EQ(table::format_cell(-7), "-7");
+  EXPECT_EQ(table::format_cell(std::uint64_t{18446744073709551615ULL}),
+            "18446744073709551615");
+}
+
+TEST(SmallVector, StaysInlineUpToCapacity) {
+  small_vector<int, 4> v;
+  for (int i = 0; i < 4; ++i) v.push_back(i);
+  EXPECT_EQ(v.capacity(), 4u);
+  EXPECT_EQ(v.size(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(v[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SmallVector, SpillsToHeapAndPreservesContents) {
+  small_vector<int, 2> v;
+  for (int i = 0; i < 100; ++i) v.push_back(i * 3);
+  EXPECT_EQ(v.size(), 100u);
+  EXPECT_GT(v.capacity(), 2u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(v[static_cast<std::size_t>(i)], i * 3);
+}
+
+TEST(SmallVector, CopyAndMoveSemantics) {
+  small_vector<int, 2> v;
+  for (int i = 0; i < 10; ++i) v.push_back(i);
+  small_vector<int, 2> copy(v);
+  EXPECT_EQ(copy.size(), 10u);
+  EXPECT_EQ(copy[9], 9);
+  small_vector<int, 2> moved(std::move(v));
+  EXPECT_EQ(moved.size(), 10u);
+  EXPECT_EQ(moved[0], 0);
+  EXPECT_EQ(v.size(), 0u);  // moved-from is empty and reusable
+  v.push_back(42);
+  EXPECT_EQ(v[0], 42);
+}
+
+TEST(SmallVector, CopyAssignReplacesContents) {
+  small_vector<int, 2> a, b;
+  a.push_back(1);
+  for (int i = 0; i < 8; ++i) b.push_back(i);
+  a = b;
+  EXPECT_EQ(a.size(), 8u);
+  EXPECT_EQ(a[7], 7);
+  b = b;  // self-assignment is a no-op
+  EXPECT_EQ(b.size(), 8u);
+}
+
+TEST(SmallVector, PopBackAndIteration) {
+  small_vector<int, 2> v;
+  v.push_back(5);
+  v.push_back(6);
+  v.pop_back();
+  EXPECT_EQ(v.back(), 5);
+  int sum = 0;
+  for (int x : v) sum += x;
+  EXPECT_EQ(sum, 5);
+}
+
+}  // namespace
+}  // namespace cilkpp

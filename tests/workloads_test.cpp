@@ -1,0 +1,333 @@
+// Tests for the paper's workloads: each runs under the real scheduler, the
+// serial elision, and the dag recorder, and must agree with a serial
+// reference; recorded dags must show the parallelism regimes Sec. 2.3
+// claims.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <deque>
+#include <list>
+
+#include "cilkview/profile.hpp"
+#include "support/rng.hpp"
+#include "dag/analysis.hpp"
+#include "dag/recorder.hpp"
+#include "runtime/mutex.hpp"
+#include "runtime/parallel_for.hpp"
+#include "runtime/scheduler.hpp"
+#include "runtime/serial.hpp"
+#include "workloads/bfs.hpp"
+#include "workloads/fib.hpp"
+#include "workloads/matmul.hpp"
+#include "workloads/nqueens.hpp"
+#include "workloads/qsort.hpp"
+#include "workloads/spmv.hpp"
+#include "workloads/treewalk.hpp"
+
+namespace cilkpp::workloads {
+namespace {
+
+using rt::context;
+using rt::scheduler;
+using rt::serial_context;
+
+// --- qsort (Fig. 1). ---
+
+class QsortEngines : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(QsortEngines, SortsUnderScheduler) {
+  scheduler sched(GetParam());
+  auto data = random_doubles(20000, 7);
+  auto expected = data;
+  std::sort(expected.begin(), expected.end());
+  sched.run([&](context& ctx) {
+    qsort(ctx, data.data(), data.data() + data.size(), 128);
+  });
+  EXPECT_EQ(data, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkerCounts, QsortEngines,
+                         ::testing::Values(1u, 2u, 4u, 8u));
+
+TEST(Qsort, SortsUnderSerialElision) {
+  serial_context root;
+  auto data = random_doubles(5000, 11);
+  auto expected = data;
+  std::sort(expected.begin(), expected.end());
+  qsort(root, data.data(), data.data() + data.size(), 64);
+  EXPECT_EQ(data, expected);
+  EXPECT_GT(root.accounted_work(), 5000u);
+}
+
+TEST(Qsort, TinyAndEdgeInputs) {
+  scheduler sched(2);
+  std::vector<double> empty;
+  std::vector<double> one{3.0};
+  std::vector<double> dup(100, 1.5);
+  sched.run([&](context& ctx) {
+    qsort(ctx, empty.data(), empty.data(), 4);
+    qsort(ctx, one.data(), one.data() + 1, 4);
+    qsort(ctx, dup.data(), dup.data() + dup.size(), 4);
+  });
+  EXPECT_EQ(one[0], 3.0);
+  EXPECT_TRUE(std::is_sorted(dup.begin(), dup.end()));
+}
+
+TEST(Qsort, IteratorGenericLikeFig1) {
+  // Fig. 1's qsort is templated over iterators; ours must accept any
+  // random-access iterator, not just raw pointers.
+  scheduler sched(2);
+  std::vector<int> v;
+  xoshiro256 rng(21);
+  for (int i = 0; i < 3000; ++i) v.push_back(static_cast<int>(rng.below(1000)));
+  sched.run([&](context& ctx) { qsort(ctx, v.begin(), v.end(), 64); });
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+
+  std::deque<double> dq;
+  for (int i = 0; i < 500; ++i) dq.push_back(rng.unit());
+  serial_context root;
+  qsort(root, dq.begin(), dq.end(), 32);
+  EXPECT_TRUE(std::is_sorted(dq.begin(), dq.end()));
+}
+
+TEST(Qsort, RecordedDagHasLogarithmicParallelism) {
+  // Sec. 3.1: "the expected parallelism for sorting n numbers is only
+  // O(lg n)" — the first partition is a serial Θ(n) pass on the critical
+  // path, so parallelism ≈ c·lg n no matter how large n gets.
+  auto data = random_doubles(1 << 15, 3);
+  const dag::graph g = dag::record([&](dag::recorder_context& ctx) {
+    qsort(ctx, data.data(), data.data() + data.size(), 64);
+  });
+  const auto m = dag::analyze(g);
+  const double parallelism = m.parallelism();
+  EXPECT_GT(parallelism, 2.0);
+  EXPECT_LT(parallelism, 64.0);  // tiny compared to n = 32768
+  EXPECT_TRUE(std::is_sorted(data.begin(), data.end()));
+}
+
+// --- fib. ---
+
+TEST(Fib, AllEnginesAgree) {
+  const std::uint64_t expected = fib_serial(22);
+  scheduler sched(4);
+  EXPECT_EQ(sched.run([](context& ctx) { return fib(ctx, 22, 8); }), expected);
+  serial_context root;
+  EXPECT_EQ(fib(root, 22, 8), expected);
+  std::uint64_t recorded_result = 0;
+  (void)dag::record([&](dag::recorder_context& ctx) {
+    recorded_result = fib(ctx, 22, 8);
+  });
+  EXPECT_EQ(recorded_result, expected);
+}
+
+TEST(Fib, CutoffChangesGranularityNotResult) {
+  scheduler sched(4);
+  for (unsigned cutoff : {0u, 5u, 10u, 25u}) {
+    EXPECT_EQ(sched.run([&](context& ctx) { return fib(ctx, 20, cutoff); }),
+              fib_serial(20));
+  }
+}
+
+// --- Tree walk (Sec. 5). ---
+
+TEST(TreeWalk, AssemblyDeterministicAndDensityScales) {
+  const collision_model sparse{.cost = 10, .threshold = 64};
+  const collision_model dense{.cost = 10, .threshold = 512};
+  const assembly a1 = build_assembly(10, sparse, 1);
+  const assembly a2 = build_assembly(10, sparse, 1);
+  EXPECT_EQ(a1.node_count, 2047u);
+  EXPECT_EQ(a1.hit_count, a2.hit_count);  // deterministic in the seed
+  const assembly a3 = build_assembly(10, dense, 1);
+  EXPECT_GT(a3.hit_count, a1.hit_count * 4);  // density knob works
+  // ~1/16 of nodes at threshold 64/1024.
+  EXPECT_NEAR(static_cast<double>(a1.hit_count), 2047.0 / 16.0, 40.0);
+}
+
+TEST(TreeWalk, MutexWalkCollectsSameMultiset) {
+  const collision_model model{.cost = 20, .threshold = 256};
+  const assembly a = build_assembly(9, model, 5);
+  std::list<std::uint64_t> serial_out;
+  walk_serial(a.root.get(), model, serial_out);
+  EXPECT_EQ(serial_out.size(), a.hit_count);
+
+  scheduler sched(4);
+  rt::mutex mu;
+  std::list<std::uint64_t> mutex_out;
+  sched.run([&](context& ctx) {
+    walk_mutex(ctx, a.root.get(), model, mu, mutex_out);
+  });
+  // Same elements; order is scheduling-dependent (the paper's point).
+  std::vector<std::uint64_t> s(serial_out.begin(), serial_out.end());
+  std::vector<std::uint64_t> m(mutex_out.begin(), mutex_out.end());
+  std::sort(s.begin(), s.end());
+  std::sort(m.begin(), m.end());
+  EXPECT_EQ(s, m);
+  EXPECT_EQ(mu.acquisitions(), a.hit_count);
+}
+
+TEST(TreeWalk, ReducerWalkPreservesSerialOrderExactly) {
+  const collision_model model{.cost = 20, .threshold = 256};
+  const assembly a = build_assembly(9, model, 6);
+  std::list<std::uint64_t> serial_out;
+  walk_serial(a.root.get(), model, serial_out);
+
+  scheduler sched(4);
+  for (int round = 0; round < 3; ++round) {
+    hyper::reducer<hyper::list_append<std::uint64_t>> out;
+    sched.run([&](context& ctx) {
+      walk_reducer(ctx, a.root.get(), model, out);
+    });
+    EXPECT_EQ(out.take(), serial_out) << "round " << round;
+  }
+}
+
+// --- matmul. ---
+
+TEST(Matmul, MatchesSerialReference) {
+  constexpr std::size_t n = 64;
+  auto a = random_matrix(n, 1);
+  auto b = random_matrix(n, 2);
+  std::vector<double> expected(n * n, 0.0);
+  matmul_serial(a, b, expected, n);
+
+  scheduler sched(4);
+  std::vector<double> c(n * n, 0.0);
+  sched.run([&](context& ctx) {
+    matmul_add(ctx, as_view(c, n), as_view(a, n), as_view(b, n), 16);
+  });
+  for (std::size_t i = 0; i < n * n; ++i) EXPECT_NEAR(c[i], expected[i], 1e-9);
+}
+
+TEST(Matmul, AccumulatesIntoC) {
+  constexpr std::size_t n = 32;
+  auto a = random_matrix(n, 3);
+  auto b = random_matrix(n, 4);
+  std::vector<double> c(n * n, 1.0);
+  std::vector<double> expected(n * n, 1.0);
+  matmul_serial(a, b, expected, n);
+
+  serial_context root;
+  matmul_add(root, as_view(c, n), as_view(a, n), as_view(b, n), 8);
+  for (std::size_t i = 0; i < n * n; ++i) EXPECT_NEAR(c[i], expected[i], 1e-9);
+}
+
+TEST(Matmul, RecordedParallelismGrowsSuperlinearly) {
+  // Parallelism Θ(n³/lg²n): quadrupling work per dimension must raise it
+  // far faster than n — the mechanism behind "millions" at n = 1000.
+  auto profile_for = [](std::size_t n) {
+    auto a = random_matrix(n, 5);
+    auto b = random_matrix(n, 6);
+    std::vector<double> c(n * n, 0.0);
+    const dag::graph g = dag::record([&](dag::recorder_context& ctx) {
+      matmul_add(ctx, as_view(c, n), as_view(a, n), as_view(b, n), 8);
+    });
+    return dag::analyze(g).parallelism();
+  };
+  const double p64 = profile_for(64);
+  const double p128 = profile_for(128);
+  EXPECT_GT(p64, 100.0);
+  EXPECT_GT(p128, 3.0 * p64);  // ≫ 2× despite only 2× per dimension
+}
+
+// --- BFS. ---
+
+TEST(Bfs, MatchesSerialReferenceAcrossEngines) {
+  const csr g = random_graph(5000, 8, 99);
+  const auto expected = bfs_serial(g, 0);
+
+  scheduler sched(4);
+  const auto parallel = sched.run([&](context& ctx) { return bfs(ctx, g, 0); });
+  EXPECT_EQ(parallel, expected);
+
+  serial_context root;
+  EXPECT_EQ(bfs(root, g, 0), expected);
+}
+
+TEST(Bfs, DisconnectedVerticesStayUnreachable) {
+  // A graph with an isolated tail: vertices ≥ k have no in-edges from the
+  // reachable part if we cut all columns ≥ k.
+  csr g = random_graph(100, 4, 3);
+  for (auto& c : g.col) c %= 50;  // edges only among the first 50
+  scheduler sched(2);
+  const auto dist = sched.run([&](context& ctx) { return bfs(ctx, g, 0); });
+  bool any_unreachable = false;
+  for (std::uint32_t v = 50; v < 100; ++v)
+    any_unreachable |= (dist[v] == bfs_unreachable);
+  EXPECT_TRUE(any_unreachable);
+}
+
+// --- SpMV. ---
+
+TEST(Spmv, MatchesSerialReference) {
+  const csr a = random_sparse_matrix(2000, 16, 42);
+  std::vector<double> x(a.rows());
+  xoshiro256 rng(17);
+  for (double& v : x) v = rng.unit();
+  const auto expected = spmv_serial(a, x);
+
+  scheduler sched(4);
+  const auto y = sched.run([&](context& ctx) { return spmv(ctx, a, x); });
+  ASSERT_EQ(y.size(), expected.size());
+  for (std::size_t i = 0; i < y.size(); ++i) EXPECT_NEAR(y[i], expected[i], 1e-12);
+}
+
+// --- nqueens. ---
+
+TEST(Nqueens, KnownSolutionCounts) {
+  // OEIS A000170: 4→2, 6→4, 8→92, 10→724.
+  EXPECT_EQ(nqueens_serial(4), 2u);
+  EXPECT_EQ(nqueens_serial(6), 4u);
+  EXPECT_EQ(nqueens_serial(8), 92u);
+
+  scheduler sched(4);
+  EXPECT_EQ(sched.run([](context& ctx) { return nqueens(ctx, 8); }), 92u);
+  EXPECT_EQ(sched.run([](context& ctx) { return nqueens(ctx, 10, 4); }), 724u);
+
+  serial_context root;
+  EXPECT_EQ(nqueens(root, 8), 92u);
+}
+
+// --- The Sec. 2.3 parallelism ordering. ---
+
+TEST(ParallelismSurvey, RegimesOrderAsThePaperClaims) {
+  // matmul ≫ BFS ≫ sparse ≫ qsort, at comparable problem scales.
+  auto mat_par = [] {
+    constexpr std::size_t n = 128;
+    auto a = random_matrix(n, 1);
+    auto b = random_matrix(n, 2);
+    std::vector<double> c(n * n, 0.0);
+    return dag::analyze(dag::record([&](dag::recorder_context& ctx) {
+             matmul_add(ctx, as_view(c, n), as_view(a, n), as_view(b, n), 8);
+           })).parallelism();
+  }();
+  auto bfs_par = [] {
+    const csr g = random_graph(60000, 16, 5);
+    return dag::analyze(dag::record([&](dag::recorder_context& ctx) {
+             (void)bfs(ctx, g, 0, 4);
+           })).parallelism();
+  }();
+  auto spmv_par = [] {
+    const csr a = random_sparse_matrix(4000, 8, 6);
+    std::vector<double> x(a.rows(), 1.0);
+    return dag::analyze(dag::record([&](dag::recorder_context& ctx) {
+             (void)spmv(ctx, a, x, 8);
+           })).parallelism();
+  }();
+  auto qsort_par = [] {
+    auto data = random_doubles(1 << 15, 8);
+    return dag::analyze(dag::record([&](dag::recorder_context& ctx) {
+             qsort(ctx, data.data(), data.data() + data.size(), 64);
+           })).parallelism();
+  }();
+
+  EXPECT_GT(mat_par, bfs_par);
+  EXPECT_GT(bfs_par, spmv_par);
+  EXPECT_GT(spmv_par, qsort_par);
+  EXPECT_GT(mat_par, 1000.0);   // "highly parallel"
+  EXPECT_GT(bfs_par, 100.0);    // "thousands" at full scale
+  EXPECT_GT(spmv_par, 30.0);    // "hundreds" at full scale
+  EXPECT_LT(qsort_par, 40.0);   // "only O(lg n)"
+}
+
+}  // namespace
+}  // namespace cilkpp::workloads
