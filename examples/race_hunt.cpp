@@ -1,18 +1,27 @@
-// Hunting a race bug with the Cilkscreen reproduction (Sec. 4).
+// Hunting a race bug with the Cilkscreen reproduction (Sec. 4–5).
 //
-// The program contains the paper's mutated quicksort — line 13 changed to
-// qsort(max(begin+1, middle-1), end), making the two recursive subproblems
-// overlap by one element. The serial program is still correct, so testing
-// never catches it; the detector finds it in one serial run and names the
-// overlapping location. The fixed version and the Fig. 6 locking pattern
-// are shown to come back clean.
+// Four acts:
+//   1. The paper's mutated quicksort — line 13 changed to
+//      qsort(max(begin+1, middle-1), end), making the two recursive
+//      subproblems overlap by one element. The serial program is still
+//      correct, so testing never catches it; the detector finds it in one
+//      serial run and prints both endpoints with spawn-path provenance.
+//   2. The fixed version comes back clean.
+//   3. A shared counter updated under two DIFFERENT mutexes — the ALL-SETS
+//      histories catch the lock-discipline bug (a single last-access cell
+//      can forget exactly the access a later one races with).
+//   4. The reducer rewrite: the same counter as a cilk::reducer is
+//      *certified* race-free, while a strand that bypasses the reducer and
+//      touches the raw value in parallel is flagged as a view race.
 //
 // Usage: ./examples/race_hunt
 #include <algorithm>
 #include <iostream>
 #include <vector>
 
+#include "cilkscreen/report.hpp"
 #include "cilkscreen/screen_context.hpp"
+#include "hyper/reducer.hpp"
 #include "support/rng.hpp"
 
 using namespace cilkpp;
@@ -49,21 +58,24 @@ void qsort_demo(screen_context& ctx, std::vector<cell<int>>& a, int lo, int hi,
 void report(const char* name, const detector& d) {
   std::cout << name << ": ";
   if (!d.found_races()) {
-    std::cout << "no races (" << d.stats().reads_checked << " reads, "
-              << d.stats().writes_checked << " writes checked)\n";
+    const char* verdict = d.stats().view_accesses > 0
+                              ? "certified race-free (reducer-aware)"
+                              : "no races";
+    std::cout << verdict << " (" << d.stats().reads_checked << " reads, "
+              << d.stats().writes_checked << " writes";
+    if (d.stats().view_accesses > 0)
+      std::cout << ", " << d.stats().view_accesses << " view accesses";
+    std::cout << " checked)\n";
     return;
   }
-  std::cout << d.races().size() << " distinct race(s); first:\n";
-  const race_record& r = d.races().front();
-  auto kind = [](access_kind k) {
-    return k == access_kind::read ? "read" : "write";
-  };
-  std::cout << "    " << kind(r.first) << " by procedure " << r.first_proc
-            << " races with " << kind(r.second) << " by procedure "
-            << r.second_proc << " at address 0x" << std::hex << r.address
-            << std::dec;
-  if (!r.location.empty()) std::cout << " (" << r.location << ")";
-  std::cout << "\n";
+  constexpr std::size_t max_shown = 4;
+  std::cout << d.races().size() << " distinct race report(s):\n";
+  for (std::size_t i = 0; i < d.races().size() && i < max_shown; ++i) {
+    std::cout << "    " << render_race(d.races()[i], d.procedures()) << "\n";
+  }
+  if (d.races().size() > max_shown) {
+    std::cout << "    … and " << d.races().size() - max_shown << " more\n";
+  }
 }
 
 std::vector<cell<int>> fresh_input(std::size_t n) {
@@ -106,13 +118,18 @@ int main() {
     std::cout << "\n";
   }
   {
-    // Fig. 6's pattern: parallel updates under a common lock are not races.
+    // Fig. 6's pattern gone wrong: every strand locks, but strand pairs do
+    // not agree on WHICH mutex — no common lock, so this is still a race.
+    // A last-access-only detector can forget the {A}-reader when the
+    // {B}-reader lands; the ALL-SETS histories remember one access per
+    // distinct lockset and catch it deterministically.
     detector d;
     cell<int> counter(0, "counter");
-    screen_mutex L(d);
+    screen_mutex A(d), B(d);
     run_under_detector(d, [&](screen_context& ctx) {
       for (int i = 0; i < 8; ++i) {
-        ctx.spawn([&](screen_context& c) {
+        ctx.spawn([&, i](screen_context& c) {
+          screen_mutex& L = (i % 2 == 0) ? A : B;
           L.lock(c);
           counter.update(c, [](int& v) { ++v; });
           L.unlock(c);
@@ -120,7 +137,41 @@ int main() {
       }
       ctx.sync();
     });
-    report("mutex-protected counter", d);
+    report("counter under two different mutexes", d);
+    std::cout << "\n";
+  }
+  {
+    // The reducer fix (paper Sec. 5 / Fig. 7): the same parallel counter
+    // through a reducer hyperobject. Every update goes through a view, the
+    // detector knows the views are isolated, and the program is certified.
+    detector d;
+    cilk::reducer<cilk::hyper::opadd<int>> counter;
+    run_under_detector(d, [&](screen_context& ctx) {
+      for (int i = 0; i < 8; ++i) {
+        ctx.spawn([&](screen_context& c) { counter.view(c) += 1; });
+      }
+      ctx.sync();
+    });
+    report("counter as a reducer", d);
+    std::cout << "  folded value: " << counter.value() << "\n\n";
+  }
+  {
+    // Bypassing the reducer: one strand pokes the raw value while siblings
+    // update through views — flagged as a view race (no lock can fix this;
+    // the cure is routing the access through the view).
+    detector d;
+    cilk::reducer<cilk::hyper::opadd<int>> counter;
+    run_under_detector(d, [&](screen_context& ctx) {
+      for (int i = 0; i < 4; ++i) {
+        ctx.spawn([&](screen_context& c) { counter.view(c) += 1; });
+      }
+      ctx.spawn([&](screen_context& c) {
+        c.note_write(&counter.value(), sizeof(int), "raw counter poke");
+        counter.value() += 1;  // bypasses the hyperobject
+      });
+      ctx.sync();
+    });
+    report("reducer with one raw bypass", d);
   }
   return 0;
 }

@@ -6,25 +6,19 @@
 
 namespace cilkpp::screen {
 
-namespace {
-constexpr std::size_t initial_table_size = 1 << 12;  // power of two
-
-std::size_t hash_byte(std::uintptr_t byte, std::size_t mask) {
-  std::uint64_t z = static_cast<std::uint64_t>(byte);
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return static_cast<std::size_t>(z ^ (z >> 31)) & mask;
-}
-}  // namespace
-
-detector::detector() : table_(initial_table_size) {
+detector::detector() {
   root_ = bags_.create_root();
+  const proc_id tree_root = tree_.add_root();
+  CILKPP_ASSERT(tree_root == root_, "procedure numbering out of step");
   stats_.procedures = 1;
 }
 
 proc_id detector::enter_spawn(proc_id parent) {
   ++stats_.procedures;
-  return bags_.enter_procedure(parent);
+  const proc_id child = bags_.enter_procedure(parent);
+  const proc_id tree_child = tree_.add_spawn(parent);
+  CILKPP_ASSERT(tree_child == child, "procedure numbering out of step");
+  return child;
 }
 
 void detector::exit_spawn(proc_id parent, proc_id child) {
@@ -33,7 +27,10 @@ void detector::exit_spawn(proc_id parent, proc_id child) {
 
 proc_id detector::enter_call(proc_id parent) {
   ++stats_.procedures;
-  return bags_.enter_procedure(parent);
+  const proc_id child = bags_.enter_procedure(parent);
+  const proc_id tree_child = tree_.add_call(parent);
+  CILKPP_ASSERT(tree_child == child, "procedure numbering out of step");
+  return child;
 }
 
 void detector::exit_call(proc_id parent, proc_id child) {
@@ -42,122 +39,155 @@ void detector::exit_call(proc_id parent, proc_id child) {
 
 void detector::sync(proc_id f) { bags_.sync(f); }
 
-detector::shadow_cell& detector::cell(std::uintptr_t byte) {
-  CILKPP_ASSERT(byte != 0, "null address instrumented");
-  // Grow at 70% load; rehash in place into a fresh table.
-  if (table_used_ * 10 >= table_.size() * 7) {
-    std::vector<std::pair<std::uintptr_t, shadow_cell>> old(table_.size() * 2);
-    old.swap(table_);
-    for (auto& [addr, c] : old) {
-      if (addr == 0) continue;
-      std::size_t i = hash_byte(addr, table_.size() - 1);
-      while (table_[i].first != 0) i = (i + 1) & (table_.size() - 1);
-      table_[i] = {addr, std::move(c)};
-    }
-  }
-  std::size_t i = hash_byte(byte, table_.size() - 1);
-  while (table_[i].first != 0 && table_[i].first != byte) {
-    i = (i + 1) & (table_.size() - 1);
-  }
-  if (table_[i].first == 0) {
-    table_[i].first = byte;
-    ++table_used_;
-  }
-  return table_[i].second;
-}
-
-bool detector::locks_disjoint(const lockset& a) const {
-  for (lock_id x : a)
-    for (lock_id y : held_)
-      if (x == y) return false;
-  return true;
-}
-
-void detector::report(std::uintptr_t addr, const access_info& first,
-                      access_kind fk, proc_id current, access_kind sk,
-                      const char* label) {
-  if (!locks_disjoint(first.locks)) {
-    ++stats_.races_lock_suppressed;
-    return;
-  }
+void detector::report(race_kind rk, std::uintptr_t addr,
+                      const history_entry<proc_id>& first, proc_id current,
+                      access_kind second_kind, const char* second_label) {
   ++stats_.races_found;
+  if (rk == race_kind::view) ++stats_.view_races;
   if (races_.size() >= max_reports) return;
-  const std::uint64_t key = (static_cast<std::uint64_t>(addr) << 2) |
-                            (static_cast<std::uint64_t>(fk) << 1) |
-                            static_cast<std::uint64_t>(sk);
+  const std::uint64_t key = (static_cast<std::uint64_t>(addr) << 3) |
+                            (rk == race_kind::view ? 4u : 0u) |
+                            (static_cast<std::uint64_t>(first.kind) << 1) |
+                            static_cast<std::uint64_t>(second_kind);
   if (!reported_.insert(key).second) return;  // already reported this shape
   race_record r;
+  r.kind = rk;
   r.address = addr;
-  r.first = fk;
-  r.second = sk;
+  r.first = first.kind;
+  r.second = second_kind;
   r.first_proc = first.proc;
   r.second_proc = current;
-  if (label != nullptr) {
-    r.location = label;
-  } else if (first.label != nullptr) {
-    r.location = first.label;
-  }
+  if (first.label != nullptr) r.first_label = first.label;
+  if (second_label != nullptr) r.second_label = second_label;
   races_.push_back(std::move(r));
+  races_sorted_ = false;
+}
+
+void detector::on_access(proc_id current, const void* addr, std::size_t size,
+                         access_kind kind, const char* label) {
+  const auto parallel = [this](const history_entry<proc_id>& e) {
+    return bags_.in_p_bag(e.strand);
+  };
+  const auto base = reinterpret_cast<std::uintptr_t>(addr);
+  for (std::size_t k = 0; k < size; ++k) {
+    shadow_.cell(base + k).hist.access(
+        current, current, kind, held_, label, parallel,
+        [&](const history_entry<proc_id>& e) {
+          report(race_kind::determinacy, base + k, e, current, kind, label);
+        },
+        stats_);
+  }
+  // Reducer awareness: a raw access on a registered hyperobject's value
+  // bytes races with any logically parallel view access — no lockset can
+  // suppress it, because views never take the raw path.
+  for (hyper_state& hs : hypers_) {
+    if (base + size <= hs.lo || hs.hi <= base) continue;
+    for (const history_entry<proc_id>& e : hs.views.entries()) {
+      const bool write_involved =
+          e.kind == access_kind::write || kind == access_kind::write;
+      if (write_involved && parallel(e)) {
+        report(race_kind::view, hs.lo, e, current, kind, label);
+      }
+    }
+  }
 }
 
 void detector::on_read(proc_id current, const void* addr, std::size_t size,
                        const char* label) {
   ++stats_.reads_checked;
-  const auto base = reinterpret_cast<std::uintptr_t>(addr);
-  for (std::size_t k = 0; k < size; ++k) {
-    shadow_cell& c = cell(base + k);
-    if (c.writer.proc != invalid_proc && bags_.in_p_bag(c.writer.proc)) {
-      report(base + k, c.writer, access_kind::write, current, access_kind::read,
-             label);
-    }
-    // Keep the reader most likely to expose future races: replace only a
-    // reader that is serial w.r.t. the current strand (SP-bags' rule).
-    if (c.reader.proc == invalid_proc || !bags_.in_p_bag(c.reader.proc)) {
-      c.reader.proc = current;
-      c.reader.locks = held_;
-      c.reader.label = label;
-    }
-  }
+  on_access(current, addr, size, access_kind::read, label);
 }
 
 void detector::on_write(proc_id current, const void* addr, std::size_t size,
                         const char* label) {
   ++stats_.writes_checked;
-  const auto base = reinterpret_cast<std::uintptr_t>(addr);
-  for (std::size_t k = 0; k < size; ++k) {
-    shadow_cell& c = cell(base + k);
-    if (c.reader.proc != invalid_proc && bags_.in_p_bag(c.reader.proc)) {
-      report(base + k, c.reader, access_kind::read, current, access_kind::write,
-             label);
-    }
-    if (c.writer.proc != invalid_proc && bags_.in_p_bag(c.writer.proc)) {
-      report(base + k, c.writer, access_kind::write, current, access_kind::write,
-             label);
-    }
-    c.writer.proc = current;
-    c.writer.locks = held_;
-    c.writer.label = label;
-  }
+  on_access(current, addr, size, access_kind::write, label);
 }
 
 lock_id detector::register_lock() { return next_lock_++; }
 
 void detector::lock_acquired(lock_id id) {
-  for (lock_id h : held_) {
-    CILKPP_ASSERT(h != id, "lock acquired twice (not recursive)");
-  }
+  CILKPP_ASSERT(!lockset_contains(held_, id),
+                "lock acquired twice (not recursive)");
   held_.push_back(id);
 }
 
 void detector::lock_released(lock_id id) {
   for (std::size_t i = 0; i < held_.size(); ++i) {
     if (held_[i] == id) {
-      held_[i] = held_.back();
-      held_.pop_back();
+      held_.swap_remove(i);
       return;
     }
   }
   CILKPP_UNREACHABLE("releasing a lock that is not held");
+}
+
+detector::hyper_state* detector::find_hyper(const rt::hyperobject_base& h) {
+  for (hyper_state& hs : hypers_) {
+    if (hs.id == &h) return &hs;
+  }
+  return nullptr;
+}
+
+void detector::register_hyperobject(const rt::hyperobject_base& h,
+                                    const void* base, std::size_t size,
+                                    const char* label) {
+  const auto lo = reinterpret_cast<std::uintptr_t>(base);
+  if (hyper_state* hs = find_hyper(h)) {
+    hs->lo = lo;
+    hs->hi = lo + size;
+    if (hs->label == nullptr) hs->label = label;  // first label wins
+    return;
+  }
+  hypers_.push_back({&h, lo, lo + size, label, {}});
+}
+
+void detector::on_view_access(proc_id current, const rt::hyperobject_base& h,
+                              const void* base, std::size_t size,
+                              access_kind kind, const char* label) {
+  register_hyperobject(h, base, size, label);
+  hyper_state& hs = *find_hyper(h);
+  ++stats_.view_accesses;
+  const auto parallel = [this](const history_entry<proc_id>& e) {
+    return bags_.in_p_bag(e.strand);
+  };
+  // A remembered raw access logically parallel with this view access is a
+  // view race (the raw strand bypassed the reducer).
+  for (std::uintptr_t byte = hs.lo; byte < hs.hi; ++byte) {
+    if (shadow_cell* c = shadow_.find(byte)) {
+      for (const history_entry<proc_id>& e : c->hist.entries()) {
+        const bool write_involved =
+            e.kind == access_kind::write || kind == access_kind::write;
+        if (write_involved && parallel(e)) {
+          report(race_kind::view, hs.lo, e, current, kind, hs.label);
+        }
+      }
+    }
+  }
+  // View-vs-view accesses are exempt — that is the reducer guarantee — so
+  // the history's race callback is a no-op; the entries exist only for the
+  // raw-vs-view check above and its mirror in on_access. Views are recorded
+  // with an empty lockset: a lock never protects against a view race.
+  hs.views.access(current, current, kind, lockset{}, hs.label, parallel,
+                  [](const history_entry<proc_id>&) {}, stats_);
+}
+
+const std::vector<race_record>& detector::races() const {
+  if (!races_sorted_) {
+    std::sort(races_.begin(), races_.end(), race_report_order);
+    races_sorted_ = true;
+  }
+  return races_;
+}
+
+std::vector<std::uint64_t> detector::history_histogram() const {
+  std::vector<std::uint64_t> histogram;
+  shadow_.for_each([&](std::uintptr_t, const shadow_cell& c) {
+    const std::size_t n = c.hist.entries().size();
+    if (histogram.size() <= n) histogram.resize(n + 1);
+    ++histogram[n];
+  });
+  return histogram;
 }
 
 }  // namespace cilkpp::screen

@@ -12,46 +12,34 @@
 // (Pin); this reproduction intercepts through source-level hooks instead —
 // screen::cell<T> wrappers or explicit on_read/on_write calls — which feed
 // the identical algorithm (DESIGN.md substitution #3). Detection combines:
-//   * SP-bags for series-parallel relationships (spbags.hpp), and
-//   * lock sets: a candidate race is suppressed when both accesses held a
-//     common lock (the paper's definition; simplified from ALL-SETS in that
-//     only the most recent reader/writer per location is remembered).
+//   * SP-bags for series-parallel relationships (spbags.hpp);
+//   * ALL-SETS access histories (history.hpp): each shadow location keeps
+//     one remembered access per distinct non-subsumed lockset, so the
+//     guarantee above holds even when the same location is touched under
+//     different locks (a single last-reader/last-writer cell would forget
+//     exactly the access a later one races with);
+//   * reducer awareness (paper Sec. 5): accesses routed through a reducer
+//     view — registered by hyperobject identity via on_view_access — are
+//     exempt from determinacy-race reports, while a raw access logically
+//     parallel with a view access on the same hyperobject is reported as a
+//     view race (race_kind::view).
 #pragma once
 
 #include <cstdint>
-#include <string>
 #include <unordered_set>
 #include <vector>
 
+#include "cilkscreen/history.hpp"
+#include "cilkscreen/race_types.hpp"
+#include "cilkscreen/report.hpp"
+#include "cilkscreen/shadow.hpp"
 #include "cilkscreen/spbags.hpp"
-#include "support/small_vector.hpp"
+
+namespace cilkpp::rt {
+struct hyperobject_base;  // identity only; defined in runtime/hyper_iface.hpp
+}  // namespace cilkpp::rt
 
 namespace cilkpp::screen {
-
-using lock_id = std::uint32_t;
-/// Locks held by an access; accesses hold few locks, so a small sorted
-/// vector beats a set.
-using lockset = small_vector<lock_id, 2>;
-
-enum class access_kind : std::uint8_t { read, write };
-
-/// One reported determinacy race.
-struct race_record {
-  std::uintptr_t address = 0;
-  access_kind first = access_kind::write;   ///< the remembered earlier access
-  access_kind second = access_kind::write;  ///< the current access
-  proc_id first_proc = invalid_proc;
-  proc_id second_proc = invalid_proc;
-  std::string location;  ///< user label of the accessed variable, if any
-};
-
-struct detector_stats {
-  std::uint64_t reads_checked = 0;
-  std::uint64_t writes_checked = 0;
-  std::uint64_t procedures = 0;
-  std::uint64_t races_found = 0;
-  std::uint64_t races_lock_suppressed = 0;
-};
 
 class detector {
  public:
@@ -79,37 +67,61 @@ class detector {
   void lock_acquired(lock_id id);
   void lock_released(lock_id id);
 
+  // --- Hyperobject events (reducer awareness). ---
+  /// Associates the hyperobject's user-visible value bytes [base, base+size)
+  /// with its identity. Idempotent; on_view_access registers lazily, so an
+  /// explicit call is only needed to catch raw accesses that precede every
+  /// view access on an otherwise-unused hyperobject.
+  void register_hyperobject(const rt::hyperobject_base& h, const void* base,
+                            std::size_t size, const char* label = nullptr);
+  /// An access routed through the hyperobject's view: exempt from
+  /// determinacy-race reports, but checked against raw accesses — a raw
+  /// access logically parallel with it is a view race (locks are ignored:
+  /// no lock discipline can protect against bypassing a reducer).
+  void on_view_access(proc_id current, const rt::hyperobject_base& h,
+                      const void* base, std::size_t size, access_kind kind,
+                      const char* label = nullptr);
+
   // --- Results. ---
-  const std::vector<race_record>& races() const { return races_; }
+  /// Reports in deterministic (address, first_proc, second_proc) order.
+  const std::vector<race_record>& races() const;
   bool found_races() const { return !races_.empty(); }
   const detector_stats& stats() const { return stats_; }
+  /// Procedure tree for spawn-path provenance (report.hpp).
+  const proc_tree& procedures() const { return tree_; }
+  /// histogram[n] = number of touched shadow bytes remembering n accesses.
+  std::vector<std::uint64_t> history_histogram() const;
   /// Race reports are deduplicated per (address, kind pair); cap the total
   /// to keep pathological programs manageable.
   static constexpr std::size_t max_reports = 1000;
 
  private:
-  struct access_info {
-    proc_id proc = invalid_proc;
-    lockset locks;
-    const char* label = nullptr;
-  };
   struct shadow_cell {
-    access_info writer;
-    access_info reader;
+    access_history<proc_id> hist;
+  };
+  struct hyper_state {
+    const rt::hyperobject_base* id = nullptr;
+    std::uintptr_t lo = 0, hi = 0;  // the value's bytes, [lo, hi)
+    const char* label = nullptr;
+    access_history<proc_id> views;
   };
 
-  shadow_cell& cell(std::uintptr_t byte);
-  bool locks_disjoint(const lockset& a) const;
-  void report(std::uintptr_t addr, const access_info& first, access_kind fk,
-              proc_id current, access_kind sk, const char* label);
+  void on_access(proc_id current, const void* addr, std::size_t size,
+                 access_kind kind, const char* label);
+  void report(race_kind rk, std::uintptr_t addr,
+              const history_entry<proc_id>& first, proc_id current,
+              access_kind second_kind, const char* second_label);
+  hyper_state* find_hyper(const rt::hyperobject_base& h);
 
   sp_bags bags_;
   proc_id root_;
-  std::vector<std::pair<std::uintptr_t, shadow_cell>> table_;  // open addressing
-  std::size_t table_used_ = 0;
+  proc_tree tree_;
+  shadow_table<shadow_cell> shadow_;
+  std::vector<hyper_state> hypers_;
   lockset held_;
   lock_id next_lock_ = 0;
-  std::vector<race_record> races_;
+  mutable std::vector<race_record> races_;
+  mutable bool races_sorted_ = true;
   std::unordered_set<std::uint64_t> reported_;  // dedup per (address, kinds)
   detector_stats stats_;
 };

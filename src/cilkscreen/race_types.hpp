@@ -1,0 +1,93 @@
+// Shared vocabulary of the race-detection engines: procedure ids, locksets,
+// access kinds, race reports, and engine statistics. Both engines (SP-bags in
+// detector.hpp, SP-order in sporder.hpp) speak these types, so contexts,
+// tests, and the report renderer are engine-agnostic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "support/small_vector.hpp"
+
+namespace cilkpp::screen {
+
+/// A Cilk procedure instance, numbered in execution (elision) order.
+using proc_id = std::uint32_t;
+inline constexpr proc_id invalid_proc = static_cast<proc_id>(-1);
+
+using lock_id = std::uint32_t;
+/// Locks held by an access; accesses hold few locks, so a small vector
+/// beats a set.
+using lockset = small_vector<lock_id, 2>;
+
+inline bool lockset_contains(const lockset& s, lock_id x) {
+  for (const lock_id y : s)
+    if (y == x) return true;
+  return false;
+}
+
+/// a ⊆ b.
+inline bool lockset_subset(const lockset& a, const lockset& b) {
+  for (const lock_id x : a)
+    if (!lockset_contains(b, x)) return false;
+  return true;
+}
+
+/// a ∩ b = ∅.
+inline bool lockset_disjoint(const lockset& a, const lockset& b) {
+  for (const lock_id x : a)
+    if (lockset_contains(b, x)) return false;
+  return true;
+}
+
+enum class access_kind : std::uint8_t { read, write };
+
+/// Determinacy races are the paper's Sec. 4 definition; view races are the
+/// reducer-awareness extension — a raw access logically parallel with a
+/// reducer-view access on the same hyperobject (Sec. 5's "Cilkscreen
+/// understands reducer hyperobjects").
+enum class race_kind : std::uint8_t { determinacy, view };
+
+/// One reported race. Both endpoints carry their access kind, procedure, and
+/// user label; spawn-path provenance is reconstructed from the engine's
+/// procedure tree by the report renderer (report.hpp).
+struct race_record {
+  race_kind kind = race_kind::determinacy;
+  std::uintptr_t address = 0;  ///< racing byte; hyperobject base for view races
+  access_kind first = access_kind::write;   ///< the remembered earlier access
+  access_kind second = access_kind::write;  ///< the current access
+  proc_id first_proc = invalid_proc;
+  proc_id second_proc = invalid_proc;
+  std::string first_label;   ///< user label at the first endpoint, if any
+  std::string second_label;  ///< user label at the second endpoint, if any
+};
+
+/// Deterministic report order: (address, first_proc, second_proc), with the
+/// remaining fields as tie-breakers so equal-position reports still order
+/// stably across runs.
+inline bool race_report_order(const race_record& a, const race_record& b) {
+  if (a.address != b.address) return a.address < b.address;
+  if (a.first_proc != b.first_proc) return a.first_proc < b.first_proc;
+  if (a.second_proc != b.second_proc) return a.second_proc < b.second_proc;
+  if (a.kind != b.kind) return a.kind < b.kind;
+  if (a.first != b.first) return a.first < b.first;
+  return a.second < b.second;
+}
+
+struct detector_stats {
+  std::uint64_t reads_checked = 0;
+  std::uint64_t writes_checked = 0;
+  std::uint64_t procedures = 0;
+  std::uint64_t races_found = 0;
+  std::uint64_t races_lock_suppressed = 0;
+  /// ALL-SETS bookkeeping: accesses dropped because a location's history was
+  /// full (history_capacity distinct locksets already remembered). A nonzero
+  /// count means the completeness guarantee is weakened for that location.
+  std::uint64_t history_spills = 0;
+  /// Reducer awareness: accesses routed through hyperobject views, and the
+  /// subset of reported races that are view races.
+  std::uint64_t view_accesses = 0;
+  std::uint64_t view_races = 0;
+};
+
+}  // namespace cilkpp::screen

@@ -1,0 +1,107 @@
+#include "cilkscreen/report.hpp"
+
+#include <cstdio>
+
+#include "support/assert.hpp"
+
+namespace cilkpp::screen {
+
+proc_id proc_tree::add(proc_id parent, edge kind) {
+  CILKPP_ASSERT(kind == edge::root || parent < nodes_.size(),
+                "proc_tree: unknown parent");
+  nodes_.push_back({parent, kind});
+  return static_cast<proc_id>(nodes_.size() - 1);
+}
+
+proc_id proc_tree::add_root() {
+  CILKPP_ASSERT(nodes_.empty(), "proc_tree: root already exists");
+  return add(invalid_proc, edge::root);
+}
+
+proc_id proc_tree::add_spawn(proc_id parent) { return add(parent, edge::spawned); }
+
+proc_id proc_tree::add_call(proc_id parent) { return add(parent, edge::called); }
+
+proc_id proc_tree::parent_of(proc_id p) const {
+  CILKPP_ASSERT(p < nodes_.size(), "proc_tree: unknown procedure");
+  return nodes_[p].parent;
+}
+
+proc_tree::edge proc_tree::edge_of(proc_id p) const {
+  CILKPP_ASSERT(p < nodes_.size(), "proc_tree: unknown procedure");
+  return nodes_[p].kind;
+}
+
+std::string proc_tree::path(proc_id p) const {
+  if (p >= nodes_.size()) return "?";
+  // Collect the chain root→p, then render forward.
+  std::vector<proc_id> chain;
+  for (proc_id cur = p; cur != invalid_proc; cur = nodes_[cur].parent) {
+    chain.push_back(cur);
+  }
+  std::string out;
+  for (std::size_t i = chain.size(); i-- > 0;) {
+    const proc_id id = chain[i];
+    switch (nodes_[id].kind) {
+      case edge::root:
+        out += "root";
+        break;
+      case edge::spawned:
+        out += "/spawn#";
+        out += std::to_string(id);
+        break;
+      case edge::called:
+        out += "/call#";
+        out += std::to_string(id);
+        break;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+const char* kind_name(access_kind k) {
+  return k == access_kind::read ? "read" : "write";
+}
+
+void append_label(std::string& out, const std::string& label) {
+  if (label.empty()) return;
+  out += " (";
+  out += label;
+  out += ")";
+}
+
+}  // namespace
+
+std::string render_race(const race_record& r, const proc_tree& tree) {
+  char addr[2 + 2 * sizeof(std::uintptr_t) + 1];
+  std::snprintf(addr, sizeof(addr), "0x%llx",
+                static_cast<unsigned long long>(r.address));
+  std::string out;
+  if (r.kind == race_kind::view) out += "view race: ";
+  out += kind_name(r.first);
+  out += r.kind == race_kind::view ? " of " : " to ";
+  out += addr;
+  append_label(out, r.first_label);
+  out += " by ";
+  out += tree.path(r.first_proc);
+  out += " races with ";
+  out += kind_name(r.second);
+  append_label(out, r.second_label);
+  out += " by ";
+  out += tree.path(r.second_proc);
+  return out;
+}
+
+std::string render_races(const std::vector<race_record>& races,
+                         const proc_tree& tree) {
+  std::string out;
+  for (const race_record& r : races) {
+    out += render_race(r, tree);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace cilkpp::screen

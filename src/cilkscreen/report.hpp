@@ -1,0 +1,59 @@
+// Race-report provenance and rendering.
+//
+// The engines number procedure instances in execution order; by itself a
+// proc_id tells the user nothing about *where* in the spawn structure the
+// racing access ran. Both engines therefore record a procedure tree — each
+// procedure's parent and whether it was spawned or called — from which
+// render_race reconstructs a spawn-path string per endpoint, e.g.
+//
+//   write to 0x7ffc... (output_list) by root/spawn#2/call#5
+//     races with write (output_list) by root/spawn#7
+//
+// Reports render in the engines' deterministic (address, first_proc,
+// second_proc) order, so tool output diffs cleanly across runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cilkscreen/race_types.hpp"
+
+namespace cilkpp::screen {
+
+/// The engine's procedure tree: one node per procedure instance, in the
+/// engine's own numbering (node index == proc_id).
+class proc_tree {
+ public:
+  enum class edge : std::uint8_t { root, spawned, called };
+
+  proc_id add_root();
+  proc_id add_spawn(proc_id parent);
+  proc_id add_call(proc_id parent);
+
+  std::size_t size() const { return nodes_.size(); }
+  proc_id parent_of(proc_id p) const;
+  edge edge_of(proc_id p) const;
+
+  /// Spawn-path from the root, e.g. "root/spawn#2/call#5". Unknown ids
+  /// (e.g. invalid_proc on a synthetic record) render as "?".
+  std::string path(proc_id p) const;
+
+ private:
+  struct node {
+    proc_id parent = invalid_proc;
+    edge kind = edge::root;
+  };
+  proc_id add(proc_id parent, edge kind);
+  std::vector<node> nodes_;
+};
+
+/// One report as plain text, endpoints resolved through the tree.
+std::string render_race(const race_record& r, const proc_tree& tree);
+
+/// All reports, one per line, in the order given (the engines' races()
+/// accessor already sorts deterministically).
+std::string render_races(const std::vector<race_record>& races,
+                         const proc_tree& tree);
+
+}  // namespace cilkpp::screen

@@ -69,6 +69,19 @@ class basic_screen_context {
     d_->on_write(self_, addr, size, label);
   }
 
+  /// Hyperobject hook: an access routed through a reducer view (paper
+  /// Sec. 5). hyper::reducer::view() calls this automatically under screen
+  /// contexts, so programs written against reducers are certified without
+  /// extra instrumentation; raw accesses to the same hyperobject that run
+  /// logically in parallel are reported as view races.
+  void note_view_access(rt::hyperobject_base& h, const void* base,
+                        std::size_t size, bool is_write,
+                        const char* label = nullptr) {
+    d_->on_view_access(self_, h, base, size,
+                       is_write ? access_kind::write : access_kind::read,
+                       label);
+  }
+
   Detector& screen_detector() const { return *d_; }
   proc_id procedure() const { return self_; }
 

@@ -1,6 +1,11 @@
 // Shadow memory shared by the race-detection engines: an open-addressed
 // hash table mapping instrumented byte addresses to per-engine cells.
 // Linear probing, power-of-two capacity, grow at 70% load.
+//
+// Growth invalidates references returned by cell(); generation() lets a
+// caller detect that, and ref revalidates itself across growth so a handle
+// held over an interleaved lookup (e.g. a multi-byte on_read/on_write loop)
+// can never dereference a stale slot.
 #pragma once
 
 #include <cstdint>
@@ -18,14 +23,12 @@ class shadow_table {
       : slots_(round_up(initial_capacity)) {}
 
   /// Cell for the byte; creates a default cell on first touch.
-  /// The reference is invalidated by the next lookup (growth may move it).
+  /// The reference is invalidated by the next lookup (growth may move it) —
+  /// hold a ref, not a Cell&, across other lookups.
   Cell& cell(std::uintptr_t byte) {
     CILKPP_ASSERT(byte != 0, "null address instrumented");
     if (used_ * 10 >= slots_.size() * 7) grow();
-    std::size_t i = hash(byte) & (slots_.size() - 1);
-    while (slots_[i].first != 0 && slots_[i].first != byte) {
-      i = (i + 1) & (slots_.size() - 1);
-    }
+    const std::size_t i = probe(byte);
     if (slots_[i].first == 0) {
       slots_[i].first = byte;
       ++used_;
@@ -33,7 +36,54 @@ class shadow_table {
     return slots_[i].second;
   }
 
+  /// Non-inserting lookup: the byte's cell, or nullptr if never touched.
+  Cell* find(std::uintptr_t byte) {
+    CILKPP_ASSERT(byte != 0, "null address instrumented");
+    const std::size_t i = probe(byte);
+    return slots_[i].first == byte ? &slots_[i].second : nullptr;
+  }
+
+  /// A growth-safe handle to one byte's cell: caches the slot pointer and
+  /// revalidates it (one re-probe) whenever the table has grown since the
+  /// handle last resolved. get() is therefore always safe to call, no
+  /// matter how many other lookups happened in between.
+  class ref {
+   public:
+    ref() = default;
+    ref(shadow_table& t, std::uintptr_t byte)
+        : table_(&t), byte_(byte), cached_(&t.cell(byte)), gen_(t.generation()) {}
+
+    Cell& get() {
+      CILKPP_ASSERT(table_ != nullptr, "empty shadow ref dereferenced");
+      if (gen_ != table_->generation()) {
+        cached_ = &table_->cell(byte_);
+        gen_ = table_->generation();
+      }
+      return *cached_;
+    }
+
+    /// Whether the cached pointer is still the live slot (test hook).
+    bool stale() const { return table_ != nullptr && gen_ != table_->generation(); }
+
+   private:
+    shadow_table* table_ = nullptr;
+    std::uintptr_t byte_ = 0;
+    Cell* cached_ = nullptr;
+    std::uint64_t gen_ = 0;
+  };
+
   std::size_t touched_bytes() const { return used_; }
+
+  /// Incremented every time the table rehashes (all Cell& invalidated).
+  std::uint64_t generation() const { return generation_; }
+
+  /// Visits every touched byte as fn(address, cell) in unspecified order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& [addr, c] : slots_) {
+      if (addr != 0) fn(addr, c);
+    }
+  }
 
  private:
   static std::size_t round_up(std::size_t n) {
@@ -49,9 +99,19 @@ class shadow_table {
     return static_cast<std::size_t>(z ^ (z >> 31));
   }
 
+  /// Index of the byte's slot, or of the empty slot where it would go.
+  std::size_t probe(std::uintptr_t byte) const {
+    std::size_t i = hash(byte) & (slots_.size() - 1);
+    while (slots_[i].first != 0 && slots_[i].first != byte) {
+      i = (i + 1) & (slots_.size() - 1);
+    }
+    return i;
+  }
+
   void grow() {
     std::vector<std::pair<std::uintptr_t, Cell>> old(slots_.size() * 2);
     old.swap(slots_);
+    ++generation_;
     for (auto& [addr, c] : old) {
       if (addr == 0) continue;
       std::size_t i = hash(addr) & (slots_.size() - 1);
@@ -62,6 +122,7 @@ class shadow_table {
 
   std::vector<std::pair<std::uintptr_t, Cell>> slots_;
   std::size_t used_ = 0;
+  std::uint64_t generation_ = 0;
 };
 
 }  // namespace cilkpp::screen

@@ -24,10 +24,9 @@
 #include <cstdint>
 #include <vector>
 
-namespace cilkpp::screen {
+#include "cilkscreen/race_types.hpp"  // proc_id
 
-using proc_id = std::uint32_t;
-inline constexpr proc_id invalid_proc = static_cast<proc_id>(-1);
+namespace cilkpp::screen {
 
 class sp_bags {
  public:

@@ -1,5 +1,7 @@
 #include "cilkscreen/sporder.hpp"
 
+#include <algorithm>
+
 #include "support/assert.hpp"
 
 namespace cilkpp::screen {
@@ -9,6 +11,7 @@ order_detector::order_detector() {
   root.cur_e = english_.insert_first();
   root.cur_h = hebrew_.insert_first();
   frames_.push_back(root);
+  tree_.add_root();
   stats_.procedures = 1;
 }
 
@@ -35,7 +38,10 @@ proc_id order_detector::enter_spawn(proc_id parent) {
     p.cur_h = hebrew_.insert_after(p.cur_h);
   }
   frames_.push_back(child);
-  return static_cast<proc_id>(frames_.size() - 1);
+  const proc_id id = static_cast<proc_id>(frames_.size() - 1);
+  const proc_id tree_id = tree_.add_spawn(parent);
+  CILKPP_ASSERT(tree_id == id, "procedure numbering out of step");
+  return id;
 }
 
 void order_detector::exit_spawn(proc_id parent, proc_id child) {
@@ -54,7 +60,10 @@ proc_id order_detector::enter_call(proc_id parent) {
   child.cur_e = frames_[parent].cur_e;
   child.cur_h = frames_[parent].cur_h;
   frames_.push_back(child);
-  return static_cast<proc_id>(frames_.size() - 1);
+  const proc_id id = static_cast<proc_id>(frames_.size() - 1);
+  const proc_id tree_id = tree_.add_call(parent);
+  CILKPP_ASSERT(tree_id == id, "procedure numbering out of step");
+  return id;
 }
 
 void order_detector::exit_call(proc_id parent, proc_id child) {
@@ -75,94 +84,158 @@ void order_detector::sync(proc_id f) {
   fr.last_child_h = nullptr;
 }
 
-bool order_detector::locks_disjoint(const lockset& a) const {
-  for (const lock_id x : a)
-    for (const lock_id y : held_)
-      if (x == y) return false;
-  return true;
-}
-
-void order_detector::report(std::uintptr_t addr, const access_info& first,
-                            access_kind fk, access_kind sk, const char* label) {
-  if (!locks_disjoint(first.locks)) {
-    ++stats_.races_lock_suppressed;
-    return;
-  }
+void order_detector::report(race_kind rk, std::uintptr_t addr,
+                            const entry& first, proc_id current,
+                            access_kind second_kind,
+                            const char* second_label) {
   ++stats_.races_found;
+  if (rk == race_kind::view) ++stats_.view_races;
   if (races_.size() >= max_reports) return;
-  const std::uint64_t key = (static_cast<std::uint64_t>(addr) << 2) |
-                            (static_cast<std::uint64_t>(fk) << 1) |
-                            static_cast<std::uint64_t>(sk);
+  const std::uint64_t key = (static_cast<std::uint64_t>(addr) << 3) |
+                            (rk == race_kind::view ? 4u : 0u) |
+                            (static_cast<std::uint64_t>(first.kind) << 1) |
+                            static_cast<std::uint64_t>(second_kind);
   if (!reported_.insert(key).second) return;
   race_record r;
+  r.kind = rk;
   r.address = addr;
-  r.first = fk;
-  r.second = sk;
-  if (label != nullptr) {
-    r.location = label;
-  } else if (first.label != nullptr) {
-    r.location = first.label;
-  }
+  r.first = first.kind;
+  r.second = second_kind;
+  r.first_proc = first.proc;
+  r.second_proc = current;
+  if (first.label != nullptr) r.first_label = first.label;
+  if (second_label != nullptr) r.second_label = second_label;
   races_.push_back(std::move(r));
+  races_sorted_ = false;
+}
+
+void order_detector::on_access(proc_id current, const void* addr,
+                               std::size_t size, access_kind kind,
+                               const char* label) {
+  CILKPP_ASSERT(current < frames_.size(), "unknown frame");
+  om_list::node* const cur_h = frames_[current].cur_h;
+  const auto parallel = [cur_h](const entry& e) {
+    return om_list::precedes(cur_h, e.strand);
+  };
+  const auto base = reinterpret_cast<std::uintptr_t>(addr);
+  for (std::size_t k = 0; k < size; ++k) {
+    shadow_.cell(base + k).hist.access(
+        cur_h, current, kind, held_, label, parallel,
+        [&](const entry& e) {
+          report(race_kind::determinacy, base + k, e, current, kind, label);
+        },
+        stats_);
+  }
+  // Reducer awareness: raw access vs remembered view accesses (locks are
+  // irrelevant — views never take the raw path).
+  for (hyper_state& hs : hypers_) {
+    if (base + size <= hs.lo || hs.hi <= base) continue;
+    for (const entry& e : hs.views.entries()) {
+      const bool write_involved =
+          e.kind == access_kind::write || kind == access_kind::write;
+      if (write_involved && parallel(e)) {
+        report(race_kind::view, hs.lo, e, current, kind, label);
+      }
+    }
+  }
 }
 
 void order_detector::on_read(proc_id current, const void* addr,
                              std::size_t size, const char* label) {
-  CILKPP_ASSERT(current < frames_.size(), "unknown frame");
   ++stats_.reads_checked;
-  const frame& f = frames_[current];
-  const auto base = reinterpret_cast<std::uintptr_t>(addr);
-  for (std::size_t k = 0; k < size; ++k) {
-    shadow_cell& c = shadow_.cell(base + k);
-    if (parallel_with_current(c.writer, f)) {
-      report(base + k, c.writer, access_kind::write, access_kind::read, label);
-    }
-    // Keep the H-maximal reader: if any past reader is parallel with a
-    // future writer (i.e. H-after it), the H-maximal one is.
-    if (c.reader.h == nullptr || om_list::precedes(c.reader.h, f.cur_h)) {
-      c.reader.h = f.cur_h;
-      c.reader.locks = held_;
-      c.reader.label = label;
-    }
-  }
+  on_access(current, addr, size, access_kind::read, label);
 }
 
 void order_detector::on_write(proc_id current, const void* addr,
                               std::size_t size, const char* label) {
-  CILKPP_ASSERT(current < frames_.size(), "unknown frame");
   ++stats_.writes_checked;
-  const frame& f = frames_[current];
-  const auto base = reinterpret_cast<std::uintptr_t>(addr);
-  for (std::size_t k = 0; k < size; ++k) {
-    shadow_cell& c = shadow_.cell(base + k);
-    if (parallel_with_current(c.reader, f)) {
-      report(base + k, c.reader, access_kind::read, access_kind::write, label);
-    }
-    if (parallel_with_current(c.writer, f)) {
-      report(base + k, c.writer, access_kind::write, access_kind::write, label);
-    }
-    c.writer.h = f.cur_h;
-    c.writer.locks = held_;
-    c.writer.label = label;
-  }
+  on_access(current, addr, size, access_kind::write, label);
 }
 
 void order_detector::lock_acquired(lock_id id) {
-  for (const lock_id h : held_) {
-    CILKPP_ASSERT(h != id, "lock acquired twice (not recursive)");
-  }
+  CILKPP_ASSERT(!lockset_contains(held_, id),
+                "lock acquired twice (not recursive)");
   held_.push_back(id);
 }
 
 void order_detector::lock_released(lock_id id) {
   for (std::size_t i = 0; i < held_.size(); ++i) {
     if (held_[i] == id) {
-      held_[i] = held_.back();
-      held_.pop_back();
+      held_.swap_remove(i);
       return;
     }
   }
   CILKPP_UNREACHABLE("releasing a lock that is not held");
+}
+
+order_detector::hyper_state* order_detector::find_hyper(
+    const rt::hyperobject_base& h) {
+  for (hyper_state& hs : hypers_) {
+    if (hs.id == &h) return &hs;
+  }
+  return nullptr;
+}
+
+void order_detector::register_hyperobject(const rt::hyperobject_base& h,
+                                          const void* base, std::size_t size,
+                                          const char* label) {
+  const auto lo = reinterpret_cast<std::uintptr_t>(base);
+  if (hyper_state* hs = find_hyper(h)) {
+    hs->lo = lo;
+    hs->hi = lo + size;
+    if (hs->label == nullptr) hs->label = label;  // first label wins
+    return;
+  }
+  hypers_.push_back({&h, lo, lo + size, label, {}});
+}
+
+void order_detector::on_view_access(proc_id current,
+                                    const rt::hyperobject_base& h,
+                                    const void* base, std::size_t size,
+                                    access_kind kind, const char* label) {
+  CILKPP_ASSERT(current < frames_.size(), "unknown frame");
+  register_hyperobject(h, base, size, label);
+  hyper_state& hs = *find_hyper(h);
+  ++stats_.view_accesses;
+  om_list::node* const cur_h = frames_[current].cur_h;
+  const auto parallel = [cur_h](const entry& e) {
+    return om_list::precedes(cur_h, e.strand);
+  };
+  // A remembered raw access logically parallel with this view access is a
+  // view race (the raw strand bypassed the reducer).
+  for (std::uintptr_t byte = hs.lo; byte < hs.hi; ++byte) {
+    if (shadow_cell* c = shadow_.find(byte)) {
+      for (const entry& e : c->hist.entries()) {
+        const bool write_involved =
+            e.kind == access_kind::write || kind == access_kind::write;
+        if (write_involved && parallel(e)) {
+          report(race_kind::view, hs.lo, e, current, kind, hs.label);
+        }
+      }
+    }
+  }
+  // View-vs-view accesses are exempt (the reducer guarantee); record with an
+  // empty lockset so no lock discipline can mask the raw-vs-view check.
+  hs.views.access(cur_h, current, kind, lockset{}, hs.label, parallel,
+                  [](const entry&) {}, stats_);
+}
+
+const std::vector<race_record>& order_detector::races() const {
+  if (!races_sorted_) {
+    std::sort(races_.begin(), races_.end(), race_report_order);
+    races_sorted_ = true;
+  }
+  return races_;
+}
+
+std::vector<std::uint64_t> order_detector::history_histogram() const {
+  std::vector<std::uint64_t> histogram;
+  shadow_.for_each([&](std::uintptr_t, const shadow_cell& c) {
+    const std::size_t n = c.hist.entries().size();
+    if (histogram.size() <= n) histogram.resize(n + 1);
+    ++histogram[n];
+  });
+  return histogram;
 }
 
 }  // namespace cilkpp::screen

@@ -22,18 +22,25 @@
 //  * continuations extend E and H right after the current strand;
 //  * sync adopts j as the frame's current H node.
 //
-// The public surface mirrors screen::detector so basic_screen_context can
-// drive either engine.
+// Memory checks use the same ALL-SETS access histories and reducer
+// awareness as the SP-bags engine (see detector.hpp and history.hpp); only
+// the parallelism test differs. The public surface mirrors screen::detector
+// so basic_screen_context can drive either engine.
 #pragma once
 
 #include <cstdint>
-#include <string>
 #include <unordered_set>
 #include <vector>
 
-#include "cilkscreen/detector.hpp"  // race_record, detector_stats, lockset
+#include "cilkscreen/history.hpp"
 #include "cilkscreen/order_maintenance.hpp"
+#include "cilkscreen/race_types.hpp"
+#include "cilkscreen/report.hpp"
 #include "cilkscreen/shadow.hpp"
+
+namespace cilkpp::rt {
+struct hyperobject_base;  // identity only; defined in runtime/hyper_iface.hpp
+}  // namespace cilkpp::rt
 
 namespace cilkpp::screen {
 
@@ -63,10 +70,22 @@ class order_detector {
   void lock_acquired(lock_id id);
   void lock_released(lock_id id);
 
+  // --- Hyperobject events (reducer awareness; see detector.hpp). ---
+  void register_hyperobject(const rt::hyperobject_base& h, const void* base,
+                            std::size_t size, const char* label = nullptr);
+  void on_view_access(proc_id current, const rt::hyperobject_base& h,
+                      const void* base, std::size_t size, access_kind kind,
+                      const char* label = nullptr);
+
   // --- Results. ---
-  const std::vector<race_record>& races() const { return races_; }
+  /// Reports in deterministic (address, first_proc, second_proc) order.
+  const std::vector<race_record>& races() const;
   bool found_races() const { return !races_.empty(); }
   const detector_stats& stats() const { return stats_; }
+  /// Procedure tree for spawn-path provenance (report.hpp).
+  const proc_tree& procedures() const { return tree_; }
+  /// histogram[n] = number of touched shadow bytes remembering n accesses.
+  std::vector<std::uint64_t> history_histogram() const;
   std::uint64_t relabel_count() const {
     return english_.relabel_count() + hebrew_.relabel_count();
   }
@@ -80,32 +99,37 @@ class order_detector {
     om_list::node* last_child_h = nullptr; // H insertion barrier for children
   };
 
-  struct access_info {
-    om_list::node* h = nullptr;  // H node of the accessing strand
-    lockset locks;
-    const char* label = nullptr;
-  };
+  /// Remembered strands are identified by their H node: a remembered access
+  /// runs logically in parallel with the current strand iff the current
+  /// strand H-precedes it.
+  using entry = history_entry<om_list::node*>;
   struct shadow_cell {
-    access_info writer;
-    access_info reader;  // the H-maximal reader seen so far
+    access_history<om_list::node*> hist;
+  };
+  struct hyper_state {
+    const rt::hyperobject_base* id = nullptr;
+    std::uintptr_t lo = 0, hi = 0;  // the value's bytes, [lo, hi)
+    const char* label = nullptr;
+    access_history<om_list::node*> views;
   };
 
-  /// Is the remembered access parallel with frame f's current strand?
-  bool parallel_with_current(const access_info& a, const frame& f) const {
-    return a.h != nullptr && om_list::precedes(f.cur_h, a.h);
-  }
-
-  bool locks_disjoint(const lockset& a) const;
-  void report(std::uintptr_t addr, const access_info& first, access_kind fk,
-              access_kind sk, const char* label);
+  void on_access(proc_id current, const void* addr, std::size_t size,
+                 access_kind kind, const char* label);
+  void report(race_kind rk, std::uintptr_t addr, const entry& first,
+              proc_id current, access_kind second_kind,
+              const char* second_label);
+  hyper_state* find_hyper(const rt::hyperobject_base& h);
 
   om_list english_;
   om_list hebrew_;
   std::vector<frame> frames_;
+  proc_tree tree_;
   shadow_table<shadow_cell> shadow_;
+  std::vector<hyper_state> hypers_;
   lockset held_;
   lock_id next_lock_ = 0;
-  std::vector<race_record> races_;
+  mutable std::vector<race_record> races_;
+  mutable bool races_sorted_ = true;
   std::unordered_set<std::uint64_t> reported_;
   detector_stats stats_;
 };

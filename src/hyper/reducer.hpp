@@ -41,6 +41,17 @@ concept routes_views = requires(Ctx& ctx, rt::hyperobject_base& h) {
   { ctx.hyper_view(h) } -> std::same_as<rt::view_base&>;
 };
 
+/// Detects the race-detection engines (screen contexts): view accesses are
+/// reported to the detector — by hyperobject identity — so reducer-routed
+/// updates are certified race-free while raw accesses that bypass the
+/// reducer in parallel are flagged as view races (paper Sec. 4's
+/// "Cilkscreen understands reducer hyperobjects").
+template <typename Ctx>
+concept screens_views = requires(Ctx& ctx, rt::hyperobject_base& h,
+                                 const void* base) {
+  ctx.note_view_access(h, base, std::size_t{}, true, (const char*)nullptr);
+};
+
 template <monoid M>
 class reducer final : public rt::hyperobject_base {
  public:
@@ -62,6 +73,13 @@ class reducer final : public rt::hyperobject_base {
   value_type& view(Ctx& ctx) {
     if constexpr (routes_views<Ctx>) {
       return static_cast<typed_view&>(ctx.hyper_view(*this)).value;
+    } else if constexpr (screens_views<Ctx>) {
+      // Under a race-detection engine the serial leftmost value IS the
+      // current view; report the access (as a write — the caller gets a
+      // mutable reference) so raw bypasses of this reducer are caught.
+      ctx.note_view_access(*this, &leftmost_, sizeof(leftmost_),
+                           /*is_write=*/true, this->debug_label());
+      return leftmost_;
     } else {
       (void)ctx;
       return leftmost_;

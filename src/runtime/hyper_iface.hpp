@@ -24,6 +24,11 @@ struct view_base {
 struct hyperobject_base {
   virtual ~hyperobject_base() = default;
 
+  /// Human-readable name used by diagnostic tools — Cilkscreen's view-race
+  /// reports name the hyperobject endpoint with this. Override to label a
+  /// specific reducer.
+  virtual const char* debug_label() const { return "reducer view"; }
+
   /// A fresh view initialized to the monoid identity.
   virtual std::unique_ptr<view_base> identity_view() const = 0;
 

@@ -54,6 +54,14 @@ class small_vector {
 
   void clear() { size_ = 0; }
 
+  /// Removes element i in O(1) by moving the last element into its place;
+  /// does not preserve order.
+  void swap_remove(std::size_t i) {
+    CILKPP_ASSERT(i < size_, "swap_remove index out of range");
+    data()[i] = data()[size_ - 1];
+    --size_;
+  }
+
   T& operator[](std::size_t i) {
     CILKPP_ASSERT(i < size_, "small_vector index out of range");
     return data()[i];

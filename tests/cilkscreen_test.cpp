@@ -12,6 +12,7 @@
 
 #include "cilkscreen/screen_context.hpp"
 #include "dag/analysis.hpp"
+#include "hyper/reducer.hpp"
 #include "dag/builder.hpp"
 #include "dag/recorder.hpp"
 #include "support/rng.hpp"
@@ -85,7 +86,8 @@ TEST(Detector, Figure5NaiveTreeWalkRaces) {
   });
   EXPECT_TRUE(d.found_races());
   ASSERT_FALSE(d.races().empty());
-  EXPECT_EQ(d.races()[0].location, "output_list");
+  EXPECT_EQ(d.races()[0].first_label, "output_list");
+  EXPECT_EQ(d.races()[0].second_label, "output_list");
 }
 
 // Fig. 6: the same updates protected by a common mutex — suppressed.
@@ -124,6 +126,224 @@ TEST(Detector, DifferentLocksDoNotSuppress) {
     ctx.sync();
   });
   EXPECT_TRUE(d.found_races());  // "hold no locks in common"
+}
+
+// --- ALL-SETS access histories: races the single last-access shadow cell
+// --- of the seed detector could miss (one remembered access per distinct
+// --- lockset is required for the paper's completeness guarantee).
+
+// Acceptance scenario: two parallel reads under locks {A} and {B}, then an
+// unlocked write parallel with both.
+TEST(Detector, TwoLockedReadersThenUnlockedWriteRaces) {
+  detector d;
+  cell<int> shared(0, "shared");
+  screen_mutex A(d), B(d);
+  run_under_detector(d, [&](screen_context& ctx) {
+    ctx.spawn([&](screen_context& c) {
+      A.lock(c);
+      (void)shared.get(c);
+      A.unlock(c);
+    });
+    ctx.spawn([&](screen_context& c) {
+      B.lock(c);
+      (void)shared.get(c);
+      B.unlock(c);
+    });
+    shared.set(ctx, 1);  // continuation: no lock held
+    ctx.sync();
+  });
+  EXPECT_TRUE(d.found_races());
+}
+
+// The sharper version: the write itself holds lock A. A last-reader-only
+// cell remembers the {A} reader (first parallel reader), sees the common
+// lock, and stays silent — forgetting the {B} reader the write races with.
+TEST(Detector, WriteUnderLockARacesWithForgottenLockBReader) {
+  detector d;
+  cell<int> shared(0, "shared");
+  screen_mutex A(d), B(d);
+  run_under_detector(d, [&](screen_context& ctx) {
+    ctx.spawn([&](screen_context& c) {
+      A.lock(c);
+      (void)shared.get(c);
+      A.unlock(c);
+    });
+    ctx.spawn([&](screen_context& c) {
+      B.lock(c);
+      (void)shared.get(c);
+      B.unlock(c);
+    });
+    A.lock(ctx);
+    shared.set(ctx, 1);  // races with the {B} reader only
+    A.unlock(ctx);
+    ctx.sync();
+  });
+  EXPECT_TRUE(d.found_races());
+  EXPECT_GT(d.stats().races_lock_suppressed, 0u);  // the {A}-reader pairing
+}
+
+// Write-write variant: a parallel write under {A,B} overwrote the seed
+// detector's writer slot; the later {B} reader then only got checked
+// against it (common lock B) and the original {A} writer was forgotten.
+TEST(Detector, InterveningSupersetWriterDoesNotMaskOlderWriter) {
+  detector d;
+  cell<int> shared(0, "shared");
+  screen_mutex A(d), B(d);
+  run_under_detector(d, [&](screen_context& ctx) {
+    ctx.spawn([&](screen_context& c) {
+      A.lock(c);
+      shared.set(c, 1);
+      A.unlock(c);
+    });
+    ctx.spawn([&](screen_context& c) {
+      A.lock(c);
+      B.lock(c);
+      shared.set(c, 2);  // common lock A with the first writer: no race yet
+      B.unlock(c);
+      A.unlock(c);
+    });
+    ctx.spawn([&](screen_context& c) {
+      B.lock(c);
+      (void)shared.get(c);  // races with the {A} writer, not the {A,B} one
+      B.unlock(c);
+    });
+    ctx.sync();
+  });
+  EXPECT_TRUE(d.found_races());
+}
+
+// Consistent single-lock discipline must stay quiet even though the
+// histories now remember several accesses per location.
+TEST(Detector, ConsistentLockDisciplineStillQuietWithHistories) {
+  detector d;
+  cell<int> shared(0, "shared");
+  screen_mutex A(d);
+  run_under_detector(d, [&](screen_context& ctx) {
+    for (int i = 0; i < 6; ++i) {
+      ctx.spawn([&](screen_context& c) {
+        A.lock(c);
+        shared.update(c, [](int& v) { ++v; });
+        A.unlock(c);
+      });
+    }
+    ctx.sync();
+  });
+  EXPECT_FALSE(d.found_races());
+  EXPECT_GT(d.stats().races_lock_suppressed, 0u);
+}
+
+// The explicit spill policy: more distinct locksets than history_capacity
+// on one location drops the excess (counted), but never invents races and
+// still reports against the retained entries.
+TEST(Detector, HistorySpillIsCountedAndStaysSound) {
+  constexpr unsigned nlocks = 8;
+  detector d;
+  cell<int> shared(0, "shared");
+  std::vector<screen_mutex> locks;
+  locks.reserve(nlocks);
+  for (unsigned i = 0; i < nlocks; ++i) locks.emplace_back(d);
+  run_under_detector(d, [&](screen_context& ctx) {
+    // Every 4-element subset of 8 locks: C(8,4) = 70 pairwise-incomparable
+    // locksets, each remembered unless the history is full (capacity 32).
+    for (unsigned mask = 0; mask < (1u << nlocks); ++mask) {
+      if (__builtin_popcount(mask) != 4) continue;
+      ctx.spawn([&, mask](screen_context& c) {
+        for (unsigned l = 0; l < nlocks; ++l)
+          if (mask & (1u << l)) locks[l].lock(c);
+        (void)shared.get(c);
+        for (unsigned l = nlocks; l-- > 0;)
+          if (mask & (1u << l)) locks[l].unlock(c);
+      });
+    }
+    EXPECT_FALSE(d.found_races());  // reads under locks: no race yet
+    EXPECT_GT(d.stats().history_spills, 0u);
+    shared.set(ctx, 1);  // unlocked write, parallel with all 70 readers
+    ctx.sync();
+  });
+  EXPECT_TRUE(d.found_races());
+}
+
+// --- Reducer awareness (paper Sec. 5). ---
+
+TEST(Detector, ReducerUpdatesAreCertifiedRaceFree) {
+  detector d;
+  cilk::reducer<cilk::hyper::opadd<int>> sum;
+  run_under_detector(d, [&](screen_context& ctx) {
+    for (int i = 0; i < 8; ++i) {
+      ctx.spawn([&](screen_context& c) { sum.view(c) += 1; });
+    }
+    ctx.sync();
+  });
+  EXPECT_FALSE(d.found_races());
+  EXPECT_EQ(d.stats().view_accesses, 8u);
+  EXPECT_EQ(sum.value(), 8);
+}
+
+TEST(Detector, RawWriteParallelWithViewAccessIsViewRace) {
+  detector d;
+  cilk::reducer<cilk::hyper::opadd<int>> sum;
+  run_under_detector(d, [&](screen_context& ctx) {
+    ctx.spawn([&](screen_context& c) { sum.view(c) += 1; });
+    // The continuation bypasses the reducer while the child is in flight.
+    ctx.note_write(&sum.value(), sizeof(int), "raw bypass");
+    sum.value() += 1;
+    ctx.sync();
+  });
+  ASSERT_TRUE(d.found_races());
+  const race_record& r = d.races().front();
+  EXPECT_EQ(r.kind, race_kind::view);
+  EXPECT_EQ(r.second_label, "raw bypass");
+  EXPECT_EQ(d.stats().view_races, d.stats().races_found);
+}
+
+TEST(Detector, RawAccessBeforeFirstViewAccessIsAlsoCaught) {
+  detector d;
+  cilk::reducer<cilk::hyper::opadd<int>> sum;
+  // Registration is lazy (first view access), so pre-register to associate
+  // the raw write that happens before any view exists.
+  d.register_hyperobject(sum, &sum.value(), sizeof(int), "sum");
+  run_under_detector(d, [&](screen_context& ctx) {
+    ctx.spawn([&](screen_context& c) {
+      c.note_write(&sum.value(), sizeof(int), "raw bypass");
+      sum.value() += 1;
+    });
+    sum.view(ctx) += 1;  // parallel with the raw-writing child
+    ctx.sync();
+  });
+  ASSERT_TRUE(d.found_races());
+  EXPECT_EQ(d.races().front().kind, race_kind::view);
+  EXPECT_EQ(d.races().front().first_label, "raw bypass");
+}
+
+TEST(Detector, RawAccessSerialWithViewsIsNotAViewRace) {
+  detector d;
+  cilk::reducer<cilk::hyper::opadd<int>> sum;
+  run_under_detector(d, [&](screen_context& ctx) {
+    ctx.spawn([&](screen_context& c) { sum.view(c) += 1; });
+    ctx.sync();
+    // After the sync the strand is serial with every view update.
+    ctx.note_read(&sum.value(), sizeof(int), "serial readback");
+    EXPECT_EQ(sum.value(), 1);
+  });
+  EXPECT_FALSE(d.found_races());
+}
+
+// A mutex cannot fix a view race: views never take the raw path, so lock
+// suppression must not apply.
+TEST(Detector, LockDoesNotSuppressViewRace) {
+  detector d;
+  cilk::reducer<cilk::hyper::opadd<int>> sum;
+  screen_mutex L(d);
+  run_under_detector(d, [&](screen_context& ctx) {
+    ctx.spawn([&](screen_context& c) { sum.view(c) += 1; });
+    L.lock(ctx);
+    ctx.note_write(&sum.value(), sizeof(int), "locked bypass");
+    sum.value() += 1;
+    L.unlock(ctx);
+    ctx.sync();
+  });
+  EXPECT_TRUE(d.found_races());
+  EXPECT_EQ(d.races().front().kind, race_kind::view);
 }
 
 TEST(Detector, ParallelReadsAreNotARace) {

@@ -1,0 +1,175 @@
+// Tests for the reporting layer (proc_tree provenance, render_race,
+// deterministic report order) and for the shadow_table growth contract —
+// the regression this guards: a Cell& returned by cell() is silently
+// invalidated when a later insert triggers a rehash, so any caller holding
+// a handle across lookups must hold a shadow_table::ref, which revalidates
+// itself via the generation counter.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "cilkscreen/report.hpp"
+#include "cilkscreen/screen_context.hpp"
+#include "cilkscreen/shadow.hpp"
+
+namespace cilkpp::screen {
+namespace {
+
+// --- proc_tree provenance. ---
+
+TEST(ProcTree, PathsFollowSpawnAndCallEdges) {
+  proc_tree t;
+  const proc_id root = t.add_root();
+  const proc_id s1 = t.add_spawn(root);
+  const proc_id c2 = t.add_call(s1);
+  const proc_id s3 = t.add_spawn(root);
+  EXPECT_EQ(t.path(root), "root");
+  EXPECT_EQ(t.path(s1), "root/spawn#1");
+  EXPECT_EQ(t.path(c2), "root/spawn#1/call#2");
+  EXPECT_EQ(t.path(s3), "root/spawn#3");
+  EXPECT_EQ(t.parent_of(c2), s1);
+  EXPECT_EQ(t.edge_of(c2), proc_tree::edge::called);
+}
+
+TEST(ProcTree, UnknownProcedureRendersAsQuestionMark) {
+  proc_tree t;
+  t.add_root();
+  EXPECT_EQ(t.path(invalid_proc), "?");
+  EXPECT_EQ(t.path(42), "?");
+}
+
+TEST(ProcTree, EnginePathsMatchTheProgramShape) {
+  detector d;
+  cell<int> shared(0);
+  run_under_detector(d, [&](screen_context& ctx) {
+    ctx.spawn([&](screen_context& c) { shared.set(c, 1); });
+    shared.set(ctx, 2);
+    ctx.sync();
+  });
+  ASSERT_TRUE(d.found_races());
+  const race_record& r = d.races().front();
+  EXPECT_EQ(d.procedures().path(r.first_proc), "root/spawn#1");
+  EXPECT_EQ(d.procedures().path(r.second_proc), "root");
+}
+
+// --- render_race. ---
+
+TEST(RenderRace, DeterminacyRaceMentionsBothEndpoints) {
+  proc_tree t;
+  const proc_id root = t.add_root();
+  const proc_id child = t.add_spawn(root);
+  race_record r;
+  r.kind = race_kind::determinacy;
+  r.address = 0x1234;
+  r.first = access_kind::write;
+  r.second = access_kind::read;
+  r.first_proc = child;
+  r.second_proc = root;
+  r.first_label = "output_list";
+  const std::string s = render_race(r, t);
+  EXPECT_EQ(s,
+            "write to 0x1234 (output_list) by root/spawn#1 "
+            "races with read by root");
+}
+
+TEST(RenderRace, ViewRaceIsMarked) {
+  proc_tree t;
+  const proc_id root = t.add_root();
+  race_record r;
+  r.kind = race_kind::view;
+  r.address = 0x10;
+  r.first = access_kind::write;
+  r.second = access_kind::write;
+  r.first_proc = root;
+  r.second_proc = root;
+  r.first_label = "sum";
+  r.second_label = "raw bypass";
+  const std::string s = render_race(r, t);
+  EXPECT_EQ(s,
+            "view race: write of 0x10 (sum) by root "
+            "races with write (raw bypass) by root");
+}
+
+TEST(RenderRaces, OnePerLine) {
+  proc_tree t;
+  t.add_root();
+  race_record r;
+  r.address = 0x10;
+  const std::string s = render_races({r, r}, t);
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 2);
+}
+
+// --- Deterministic report order. ---
+
+TEST(ReportOrder, RacesComeBackSortedByAddressThenEndpoints) {
+  detector d;
+  std::vector<cell<int>> vars(8);
+  run_under_detector(d, [&](screen_context& ctx) {
+    // Touch variables in a scrambled order so insertion order differs from
+    // address order.
+    for (int v : {5, 2, 7, 0, 3, 6, 1, 4}) {
+      ctx.spawn([&, v](screen_context& c) {
+        vars[static_cast<std::size_t>(v)].set(c, 1);
+      });
+      vars[static_cast<std::size_t>(v)].set(ctx, 2);
+    }
+    ctx.sync();
+  });
+  ASSERT_GE(d.races().size(), 8u);
+  EXPECT_TRUE(std::is_sorted(d.races().begin(), d.races().end(),
+                             race_report_order));
+  // A second call must not disturb the order (the sort is lazy + cached).
+  EXPECT_TRUE(std::is_sorted(d.races().begin(), d.races().end(),
+                             race_report_order));
+}
+
+// --- shadow_table growth contract. ---
+
+struct probe_cell {
+  int value = 0;
+};
+
+TEST(ShadowTable, GrowthPreservesContentsAndBumpsGeneration) {
+  shadow_table<probe_cell> t(16);
+  const std::uint64_t gen0 = t.generation();
+  for (std::uintptr_t b = 1; b <= 200; ++b) t.cell(b).value = static_cast<int>(b);
+  EXPECT_GT(t.generation(), gen0);  // 200 inserts must outgrow 16 slots
+  EXPECT_EQ(t.touched_bytes(), 200u);
+  for (std::uintptr_t b = 1; b <= 200; ++b) {
+    ASSERT_NE(t.find(b), nullptr);
+    EXPECT_EQ(t.find(b)->value, static_cast<int>(b));
+  }
+  EXPECT_EQ(t.find(777), nullptr);
+}
+
+TEST(ShadowTable, RefSurvivesGrowth) {
+  // The regression: holding a raw Cell& across inserts dangles once the
+  // table rehashes. ref detects the growth and re-probes.
+  shadow_table<probe_cell> t(16);
+  shadow_table<probe_cell>::ref r(t, 1);
+  r.get().value = 41;
+  EXPECT_FALSE(r.stale());
+  for (std::uintptr_t b = 2; b <= 200; ++b) t.cell(b).value = 0;  // forces grow
+  EXPECT_TRUE(r.stale());
+  EXPECT_EQ(r.get().value, 41);  // revalidated: same logical cell
+  EXPECT_FALSE(r.stale());
+  r.get().value = 42;
+  EXPECT_EQ(t.cell(1).value, 42);
+}
+
+TEST(ShadowTable, ForEachVisitsEveryTouchedByte) {
+  shadow_table<probe_cell> t;
+  for (std::uintptr_t b = 10; b < 20; ++b) t.cell(b).value = 1;
+  int sum = 0;
+  std::size_t count = 0;
+  t.for_each([&](std::uintptr_t, const probe_cell& c) {
+    sum += c.value;
+    ++count;
+  });
+  EXPECT_EQ(count, 10u);
+  EXPECT_EQ(sum, 10);
+}
+
+}  // namespace
+}  // namespace cilkpp::screen

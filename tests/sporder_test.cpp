@@ -11,6 +11,7 @@
 #include "dag/analysis.hpp"
 #include "dag/builder.hpp"
 #include "dag/recorder.hpp"
+#include "hyper/reducer.hpp"
 #include "support/rng.hpp"
 
 namespace cilkpp::screen {
@@ -163,6 +164,95 @@ TEST(OrderDetector, DeepNestingResolvedByImplicitSyncs) {
     });
     ctx.sync();
     shared.set(ctx, 2);  // fully serial after the sync chain
+  });
+  EXPECT_FALSE(d.found_races());
+}
+
+// --- ALL-SETS histories and reducer awareness through the SP-order engine
+// --- (mirrors the SP-bags tests; the engines share history.hpp but not the
+// --- parallelism test, so both need coverage).
+
+TEST(OrderDetector, TwoLockedReadersThenUnlockedWriteRaces) {
+  order_detector d;
+  cell<int> shared(0, "shared");
+  order_mutex A(d), B(d);
+  run_under_detector(d, [&](order_context& ctx) {
+    ctx.spawn([&](order_context& c) {
+      A.lock(c);
+      (void)shared.get(c);
+      A.unlock(c);
+    });
+    ctx.spawn([&](order_context& c) {
+      B.lock(c);
+      (void)shared.get(c);
+      B.unlock(c);
+    });
+    shared.set(ctx, 1);  // continuation: no lock held
+    ctx.sync();
+  });
+  EXPECT_TRUE(d.found_races());
+}
+
+TEST(OrderDetector, WriteUnderLockARacesWithForgottenLockBReader) {
+  order_detector d;
+  cell<int> shared(0, "shared");
+  order_mutex A(d), B(d);
+  run_under_detector(d, [&](order_context& ctx) {
+    ctx.spawn([&](order_context& c) {
+      A.lock(c);
+      (void)shared.get(c);
+      A.unlock(c);
+    });
+    ctx.spawn([&](order_context& c) {
+      B.lock(c);
+      (void)shared.get(c);
+      B.unlock(c);
+    });
+    A.lock(ctx);
+    shared.set(ctx, 1);  // races with the {B} reader only
+    A.unlock(ctx);
+    ctx.sync();
+  });
+  EXPECT_TRUE(d.found_races());
+  EXPECT_GT(d.stats().races_lock_suppressed, 0u);
+}
+
+TEST(OrderDetector, ReducerUpdatesAreCertifiedRaceFree) {
+  order_detector d;
+  cilk::reducer<cilk::hyper::opadd<int>> sum;
+  run_under_detector(d, [&](order_context& ctx) {
+    for (int i = 0; i < 8; ++i) {
+      ctx.spawn([&](order_context& c) { sum.view(c) += 1; });
+    }
+    ctx.sync();
+  });
+  EXPECT_FALSE(d.found_races());
+  EXPECT_EQ(d.stats().view_accesses, 8u);
+  EXPECT_EQ(sum.value(), 8);
+}
+
+TEST(OrderDetector, RawWriteParallelWithViewAccessIsViewRace) {
+  order_detector d;
+  cilk::reducer<cilk::hyper::opadd<int>> sum;
+  run_under_detector(d, [&](order_context& ctx) {
+    ctx.spawn([&](order_context& c) { sum.view(c) += 1; });
+    ctx.note_write(&sum.value(), sizeof(int), "raw bypass");
+    sum.value() += 1;
+    ctx.sync();
+  });
+  ASSERT_TRUE(d.found_races());
+  EXPECT_EQ(d.races().front().kind, race_kind::view);
+  EXPECT_EQ(d.races().front().second_label, "raw bypass");
+}
+
+TEST(OrderDetector, RawAccessSerialWithViewsIsNotAViewRace) {
+  order_detector d;
+  cilk::reducer<cilk::hyper::opadd<int>> sum;
+  run_under_detector(d, [&](order_context& ctx) {
+    ctx.spawn([&](order_context& c) { sum.view(c) += 1; });
+    ctx.sync();
+    ctx.note_read(&sum.value(), sizeof(int), "serial readback");
+    EXPECT_EQ(sum.value(), 1);
   });
   EXPECT_FALSE(d.found_races());
 }

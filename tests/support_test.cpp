@@ -204,5 +204,21 @@ TEST(SmallVector, PopBackAndIteration) {
   EXPECT_EQ(sum, 5);
 }
 
+TEST(SmallVector, SwapRemoveIsOrderAgnosticErase) {
+  small_vector<int, 2> v;
+  for (int x : {10, 20, 30, 40}) v.push_back(x);
+  v.swap_remove(1);  // 20 replaced by the last element
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 10);
+  EXPECT_EQ(v[1], 40);
+  EXPECT_EQ(v[2], 30);
+  v.swap_remove(2);  // removing the last element is a plain pop
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[1], 40);
+  v.swap_remove(0);
+  v.swap_remove(0);
+  EXPECT_TRUE(v.empty());
+}
+
 }  // namespace
 }  // namespace cilkpp
