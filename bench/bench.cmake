@@ -26,3 +26,4 @@ cilkpp_add_bench(bench_ablation_deque cilkpp_deque benchmark::benchmark Threads:
 cilkpp_add_bench(bench_ablation_policy cilkpp_dag cilkpp_sim)
 cilkpp_add_bench(bench_ablation_grain cilkpp_dag cilkpp_sim cilkpp_workloads)
 cilkpp_add_bench(bench_ablation_burden cilkpp_dag cilkpp_sim cilkpp_cilkview cilkpp_workloads)
+cilkpp_add_bench(bench_trace_overhead cilkpp_trace cilkpp_workloads benchmark::benchmark)

@@ -1,0 +1,77 @@
+// Tracing-overhead budget: cilk::trace must be cheap enough to leave on.
+//
+// google-benchmark pairs on the real scheduler: fib with no session
+// attached (record points compiled in but the per-worker ring pointer is
+// null — one acquire load + branch per event site), the same fib with a
+// live session recording every spawn/steal/sync/frame event, and the raw
+// ring try_push throughput that bounds what any record point can cost.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "runtime/scheduler.hpp"
+#include "trace/ring.hpp"
+#include "trace/session.hpp"
+#include "workloads/fib.hpp"
+
+namespace {
+
+using cilkpp::rt::context;
+using cilkpp::rt::scheduler;
+
+constexpr unsigned kFibN = 27;
+constexpr unsigned kFibCutoff = 12;  // small grain → many events per second
+
+void BM_fib_untraced(benchmark::State& state) {
+  const auto workers = static_cast<unsigned>(state.range(0));
+  scheduler sched(workers);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched.run(
+        [](context& ctx) { return cilkpp::workloads::fib(ctx, kFibN, kFibCutoff); }));
+  }
+}
+BENCHMARK(BM_fib_untraced)->Arg(1)->Arg(4);
+
+void BM_fib_traced(benchmark::State& state) {
+  const auto workers = static_cast<unsigned>(state.range(0));
+  scheduler sched(workers);
+  std::uint64_t events = 0, drops = 0;
+  for (auto _ : state) {
+    // A fresh session per run, like a real capture; ring large enough that
+    // nothing drops, so we pay the full record cost for every event.
+    cilkpp::trace::session cap(sched, {std::size_t{1} << 14});
+    benchmark::DoNotOptimize(sched.run(
+        [](context& ctx) { return cilkpp::workloads::fib(ctx, kFibN, kFibCutoff); }));
+    cap.stop();
+    events += cap.recorded();
+    drops += cap.dropped();
+  }
+  state.counters["events_per_run"] =
+      benchmark::Counter(static_cast<double>(events) /
+                         static_cast<double>(state.iterations()));
+  state.counters["drops"] = benchmark::Counter(static_cast<double>(drops));
+}
+BENCHMARK(BM_fib_traced)->Arg(1)->Arg(4);
+
+// Raw single-producer push throughput: the ceiling on record-point cost.
+void BM_ring_try_push(benchmark::State& state) {
+  cilkpp::trace::event_ring ring(std::size_t{1} << 16);
+  std::vector<cilkpp::trace::event> sink;
+  cilkpp::trace::event ev{};
+  ev.kind = cilkpp::trace::event_kind::spawn;
+  std::size_t pushed = 0;
+  for (auto _ : state) {
+    ev.time_ns = ++pushed;
+    if (!ring.try_push(ev)) {
+      ring.pop_all(sink);  // drain outside the measured common path
+      sink.clear();
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ring_try_push);
+
+}  // namespace
+
+BENCHMARK_MAIN();

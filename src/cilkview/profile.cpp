@@ -39,6 +39,11 @@ double burdened_speedup_estimate(const profile& p, unsigned processors) {
   return t1 / tp_estimate;
 }
 
+bool speedup_within_bounds(const profile& p, unsigned processors,
+                           double speedup, double tolerance) {
+  return speedup <= speedup_upper_bound(p, processors) * (1.0 + tolerance);
+}
+
 void print_report(std::ostream& os, const profile& p,
                   const std::vector<unsigned>& processors,
                   const std::vector<double>& measured) {

@@ -60,6 +60,13 @@ double speedup_upper_bound(const profile& p, unsigned processors);
 /// T1 / (T1/P + 2·T̂∞): the analyzer's estimated lower bound on speedup.
 double burdened_speedup_estimate(const profile& p, unsigned processors);
 
+/// True iff a claimed (measured or simulated) speedup at P respects the
+/// Work/Span-Law upper bound within a fractional tolerance — how the
+/// what-if replay (src/trace) validates its predictions against this
+/// analyzer's model.
+bool speedup_within_bounds(const profile& p, unsigned processors,
+                           double speedup, double tolerance = 0.05);
+
 /// Prints the Fig. 3 report: one row per processor count with the work-law
 /// line, the span-law ceiling, and the burdened estimate. `measured` (same
 /// length as `processors`) adds a measured-speedup column; pass empty to

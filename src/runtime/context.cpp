@@ -19,10 +19,17 @@ context::context(scheduler* sched, worker* home, context* parent,
   if (depth_ > home_->max_frame_depth.load(std::memory_order_relaxed)) {
     home_->max_frame_depth.store(depth_, std::memory_order_relaxed);
   }
+  trace_record(home_, trace::event_kind::frame_begin, ped_hash_,
+               parent_ == nullptr ? 0 : parent_->ped_hash_,
+               static_cast<std::uint32_t>(depth_),
+               static_cast<std::uint16_t>(kind_));
 }
 
 context::~context() {
   CILKPP_ASSERT(finished_, "context destroyed before its epilogue ran");
+  // The destructor runs on the home worker for every frame kind (child
+  // stealing never migrates a frame), so begin/end pairs nest per worker.
+  trace_record(home_, trace::event_kind::frame_end, ped_hash_);
 }
 
 std::size_t context::reserve_child_slot() {
@@ -83,13 +90,22 @@ view_map context::take_final_views() {
 void context::sync() {
   CILKPP_ASSERT(!finished_, "sync on a finished frame");
   bump_rank();  // the strand after the sync is new
+  trace_record(home_, trace::event_kind::sync_begin, ped_hash_, 0,
+               static_cast<std::uint32_t>(rank_));
   wait_children();
-  if (std::exception_ptr ex = fold_slots()) std::rethrow_exception(ex);
+  std::exception_ptr ex = fold_slots();
+  trace_record(home_, trace::event_kind::sync_end, ped_hash_, 0,
+               static_cast<std::uint32_t>(rank_));
+  if (ex) std::rethrow_exception(ex);
 }
 
 void context::finish_spawned(std::exception_ptr body_exception) noexcept {
+  trace_record(home_, trace::event_kind::sync_begin, ped_hash_, 0,
+               static_cast<std::uint32_t>(rank_), /*implicit=*/1);
   wait_children();  // implicit sync before a Cilk function returns
   std::exception_ptr child_exception = fold_slots();
+  trace_record(home_, trace::event_kind::sync_end, ped_hash_, 0,
+               static_cast<std::uint32_t>(rank_), /*implicit=*/1);
   // The body's exception unwound past the implicit sync, so in serial
   // execution it is what the parent would see; fall back to the serially
   // earliest child exception otherwise.
@@ -131,8 +147,12 @@ void context::finish_root() {
 }
 
 void context::finish_root_abandoned() noexcept {
+  trace_record(home_, trace::event_kind::sync_begin, ped_hash_, 0,
+               static_cast<std::uint32_t>(rank_), /*implicit=*/1);
   wait_children();
   (void)fold_slots();  // child exceptions are superseded by the body's
+  trace_record(home_, trace::event_kind::sync_end, ped_hash_, 0,
+               static_cast<std::uint32_t>(rank_), /*implicit=*/1);
   view_map final_views = take_final_views();
   finished_ = true;
   for (auto& [hyper, view] : final_views) {
@@ -187,6 +207,12 @@ void worker_stats::merge(const worker_stats& o) {
   steal_attempts += o.steal_attempts;
   tasks_executed += o.tasks_executed;
   max_frame_depth = std::max(max_frame_depth, o.max_frame_depth);
+  if (steals_by_victim.size() < o.steals_by_victim.size()) {
+    steals_by_victim.resize(o.steals_by_victim.size(), 0);
+  }
+  for (std::size_t v = 0; v < o.steals_by_victim.size(); ++v) {
+    steals_by_victim[v] += o.steals_by_victim[v];
+  }
 }
 
 }  // namespace cilkpp::rt

@@ -20,7 +20,8 @@ scheduler::scheduler(unsigned workers) {
   std::uint64_t seed_state = 0x2545f4914f6cdd1dULL;
   workers_.reserve(count);
   for (unsigned i = 0; i < count; ++i) {
-    workers_.push_back(std::make_unique<worker>(i, this, splitmix64(seed_state)));
+    workers_.push_back(
+        std::make_unique<worker>(i, this, splitmix64(seed_state), count));
   }
   // Worker 0 is the thread that calls run(); the pool provides the rest.
   threads_.reserve(count - 1);
@@ -73,6 +74,13 @@ bool scheduler::steal_and_execute(worker& w) {
     task* stolen = nullptr;
     if (workers_[victim]->deque.steal(stolen) == steal_result::success) {
       w.steals.fetch_add(1, std::memory_order_relaxed);
+      w.steals_from[victim].fetch_add(1, std::memory_order_relaxed);
+      // Thief→victim provenance: the stolen child frame, its parent, and
+      // who it was taken from. parent_frame is alive (it has a pending
+      // child) and its pedigree hash is immutable after construction.
+      trace_record(&w, trace::event_kind::steal, stolen->child_ped_hash,
+                   stolen->parent_frame->ped_hash_, 0,
+                   static_cast<std::uint16_t>(victim));
       execute(w, stolen);
       return true;
     }
@@ -106,6 +114,34 @@ std::vector<worker_stats> scheduler::per_worker_stats() const {
 
 void scheduler::reset_stats() {
   for (auto& w : workers_) w->reset_stats();
+}
+
+void scheduler::install_trace(const std::vector<trace::event_ring*>& rings) {
+#if CILKPP_TRACE_ENABLED
+  CILKPP_ASSERT(!run_active_.load(std::memory_order_acquire),
+                "install_trace while a run is in flight");
+  CILKPP_ASSERT(rings.size() == workers_.size(),
+                "install_trace needs one ring per worker");
+  // Release: a worker that observes the pointer must also observe the
+  // ring's initialized storage.
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    workers_[i]->trace_ring.store(rings[i], std::memory_order_release);
+  }
+#else
+  (void)rings;
+#endif
+}
+
+void scheduler::remove_trace() {
+#if CILKPP_TRACE_ENABLED
+  CILKPP_ASSERT(!run_active_.load(std::memory_order_acquire),
+                "remove_trace while a run is in flight");
+  // With no run in flight there are no frames and no stealable tasks, so
+  // no worker can be mid-record; clearing the pointers is sufficient.
+  for (auto& w : workers_) {
+    w->trace_ring.store(nullptr, std::memory_order_release);
+  }
+#endif
 }
 
 }  // namespace cilkpp::rt

@@ -46,6 +46,9 @@
 #include "support/assert.hpp"
 #include "support/cache.hpp"
 #include "support/rng.hpp"
+#include "support/timing.hpp"
+#include "trace/event.hpp"
+#include "trace/ring.hpp"
 
 namespace cilkpp::rt {
 
@@ -83,6 +86,9 @@ struct worker_stats {
   std::uint64_t steal_attempts = 0;  ///< including empty/lost attempts
   std::uint64_t tasks_executed = 0;
   std::uint64_t max_frame_depth = 0; ///< deepest spawned frame executed here
+  /// Steal provenance: steals_by_victim[v] = tasks this worker stole from
+  /// worker v (Σ_v == steals). Empty only for a default-constructed value.
+  std::vector<std::uint64_t> steals_by_victim;
 
   void merge(const worker_stats& o);
 };
@@ -92,8 +98,8 @@ struct worker_stats {
 /// relaxed atomics: each is written by its own worker but snapshot/reset by
 /// whoever calls scheduler::stats().
 struct worker {
-  worker(unsigned id_, scheduler* sched_, std::uint64_t seed)
-      : id(id_), sched(sched_), rng(seed) {}
+  worker(unsigned id_, scheduler* sched_, std::uint64_t seed, unsigned nworkers)
+      : id(id_), sched(sched_), rng(seed), steals_from(nworkers) {}
 
   worker_stats snapshot_stats() const {
     worker_stats s;
@@ -102,6 +108,10 @@ struct worker {
     s.steal_attempts = steal_attempts.load(std::memory_order_relaxed);
     s.tasks_executed = tasks_executed.load(std::memory_order_relaxed);
     s.max_frame_depth = max_frame_depth.load(std::memory_order_relaxed);
+    s.steals_by_victim.reserve(steals_from.size());
+    for (const auto& c : steals_from) {
+      s.steals_by_victim.push_back(c.load(std::memory_order_relaxed));
+    }
     return s;
   }
 
@@ -111,6 +121,7 @@ struct worker {
     steal_attempts.store(0, std::memory_order_relaxed);
     tasks_executed.store(0, std::memory_order_relaxed);
     max_frame_depth.store(0, std::memory_order_relaxed);
+    for (auto& c : steals_from) c.store(0, std::memory_order_relaxed);
   }
 
   unsigned id;
@@ -122,7 +133,31 @@ struct worker {
   std::atomic<std::uint64_t> steal_attempts{0};
   std::atomic<std::uint64_t> tasks_executed{0};
   std::atomic<std::uint64_t> max_frame_depth{0};
+  /// steals_from[v]: successful steals whose victim was worker v. Sized at
+  /// construction and never resized (atomics are immovable).
+  std::vector<std::atomic<std::uint64_t>> steals_from;
+#if CILKPP_TRACE_ENABLED
+  /// Installed by trace::session via scheduler::install_trace; null when no
+  /// trace is being captured. Only this worker pushes into the ring.
+  std::atomic<trace::event_ring*> trace_ring{nullptr};
+#endif
 };
+
+/// Records one trace event on w's ring, if a trace session is attached.
+/// Costs a single load+branch when tracing is idle; compiles to nothing
+/// when tracing is compiled out (CILKPP_TRACE_ENABLED=0).
+inline void trace_record(worker* w, trace::event_kind kind, std::uint64_t frame,
+                         std::uint64_t aux64 = 0, std::uint32_t aux32 = 0,
+                         std::uint16_t aux16 = 0) {
+#if CILKPP_TRACE_ENABLED
+  if (trace::event_ring* ring = w->trace_ring.load(std::memory_order_acquire)) {
+    ring->try_push(trace::event{now_ns(), frame, aux64, aux32, aux16, kind,
+                                static_cast<std::uint8_t>(w->id)});
+  }
+#else
+  (void)w; (void)kind; (void)frame; (void)aux64; (void)aux32; (void)aux16;
+#endif
+}
 
 /// A Cilk function instance (a "full frame"): owns the children it spawned
 /// and the reducer view segments of its strands. Created only by the
@@ -291,6 +326,13 @@ class scheduler {
   std::vector<worker_stats> per_worker_stats() const;
   void reset_stats();
 
+  /// Trace hooks (src/trace): installs one event ring per worker (rings
+  /// must outlive the capture; rings.size() == num_workers()). May only be
+  /// called while no run() is in flight. No-ops when tracing is compiled
+  /// out; use trace::session rather than calling these directly.
+  void install_trace(const std::vector<trace::event_ring*>& rings);
+  void remove_trace();
+
  private:
   friend class context;
   template <typename>
@@ -345,6 +387,8 @@ template <typename Fn>
 void context::spawn(Fn&& fn) {
   CILKPP_ASSERT(!finished_, "spawn on a finished frame");
   const std::uint64_t child_ped = ped_mix(ped_hash_, rank_);
+  trace_record(home_, trace::event_kind::spawn, ped_hash_, child_ped,
+               static_cast<std::uint32_t>(rank_));
   bump_rank();  // the continuation after this spawn is a new strand
   const std::size_t idx = reserve_child_slot();
   pending_.fetch_add(1, std::memory_order_relaxed);

@@ -289,4 +289,16 @@ sim_result simulate(const dag::graph& g, const machine_config& config) {
   return machine(g, config).run();
 }
 
+std::vector<sim_result> simulate_sweep(const dag::graph& g,
+                                       machine_config config,
+                                       const std::vector<unsigned>& processors) {
+  std::vector<sim_result> results;
+  results.reserve(processors.size());
+  for (unsigned p : processors) {
+    config.processors = p;
+    results.push_back(simulate(g, config));
+  }
+  return results;
+}
+
 }  // namespace cilkpp::sim

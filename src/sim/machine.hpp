@@ -108,4 +108,11 @@ struct sim_result {
 /// Precondition: g is acyclic and nonempty.
 sim_result simulate(const dag::graph& g, const machine_config& config);
 
+/// Runs the same dag once per processor count (config.processors is
+/// overridden; everything else — seed, latencies, policy — is shared), in
+/// the order given. The P-sweep every what-if/scalability caller writes.
+std::vector<sim_result> simulate_sweep(const dag::graph& g,
+                                       machine_config config,
+                                       const std::vector<unsigned>& processors);
+
 }  // namespace cilkpp::sim

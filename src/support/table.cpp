@@ -13,6 +13,10 @@ table::table(std::initializer_list<std::string> headers) : headers_(headers) {
   CILKPP_ASSERT(!headers_.empty(), "table needs at least one column");
 }
 
+table::table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  CILKPP_ASSERT(!headers_.empty(), "table needs at least one column");
+}
+
 void table::add_row(std::vector<std::string> cells) {
   CILKPP_ASSERT(cells.size() == headers_.size(), "row width != header width");
   rows_.push_back(std::move(cells));

@@ -20,6 +20,8 @@ namespace cilkpp {
 class table {
  public:
   table(std::initializer_list<std::string> headers);
+  /// Dynamic column counts (e.g. one column per worker).
+  explicit table(std::vector<std::string> headers);
 
   /// Append one row; each cell is formatted with format_cell (numbers get
   /// up to 4 significant decimals, integers print exactly).

@@ -1,4 +1,7 @@
-// Wall-clock timing helpers for the real-runtime benchmarks.
+// Wall-clock timing: the single source of truth for monotonic timestamps,
+// shared by the benchmarks, the examples, and the trace subsystem's event
+// record path (src/trace). Everything that needs a clock goes through
+// now_ns(); no other file touches std::chrono::steady_clock directly.
 #pragma once
 
 #include <chrono>
@@ -15,6 +18,12 @@ inline std::uint64_t now_ns() {
           .count());
 }
 
+/// Unit conversions for reporting (one definition of "a millisecond" for
+/// every table and exporter).
+inline double ns_to_us(std::uint64_t ns) { return static_cast<double>(ns) * 1e-3; }
+inline double ns_to_ms(std::uint64_t ns) { return static_cast<double>(ns) * 1e-6; }
+inline double ns_to_s(std::uint64_t ns) { return static_cast<double>(ns) * 1e-9; }
+
 /// Scoped stopwatch: measures elapsed nanoseconds between construction and
 /// elapsed_ns() calls.
 class stopwatch {
@@ -22,7 +31,8 @@ class stopwatch {
   stopwatch() : start_(now_ns()) {}
   void reset() { start_ = now_ns(); }
   std::uint64_t elapsed_ns() const { return now_ns() - start_; }
-  double elapsed_s() const { return static_cast<double>(elapsed_ns()) * 1e-9; }
+  double elapsed_ms() const { return ns_to_ms(elapsed_ns()); }
+  double elapsed_s() const { return ns_to_s(elapsed_ns()); }
 
  private:
   std::uint64_t start_;

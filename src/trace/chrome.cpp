@@ -1,0 +1,77 @@
+#include "trace/chrome.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <ostream>
+
+#include "support/timing.hpp"
+
+namespace cilkpp::trace {
+
+namespace {
+
+const char* frame_kind_name(frame_kind k) {
+  switch (k) {
+    case frame_kind::root: return "root";
+    case frame_kind::spawned: return "spawned";
+    case frame_kind::called: return "called";
+  }
+  return "?";
+}
+
+/// "frame 0x<ped>" — stable, collision-resistant display name.
+void emit_frame_name(char* buf, std::size_t n, std::uint64_t ped) {
+  std::snprintf(buf, n, "frame %#" PRIx64, ped);
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os, const timeline& t) {
+  os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  char name[40];
+  char num[64];
+  bool first = true;
+  for (const event& e : t.events) {
+    if (!first) os << ",";
+    first = false;
+    // Relative microseconds keep the numbers small and Perfetto happy.
+    std::snprintf(num, sizeof num, "%.3f", ns_to_us(e.time_ns - t.t0));
+    const unsigned tid = e.worker;
+    switch (e.kind) {
+      case event_kind::frame_begin:
+        emit_frame_name(name, sizeof name, e.frame);
+        os << "{\"name\":\"" << name << "\",\"cat\":\"frame\",\"ph\":\"B\",\"ts\":"
+           << num << ",\"pid\":0,\"tid\":" << tid << ",\"args\":{\"depth\":"
+           << e.aux32 << ",\"kind\":\""
+           << frame_kind_name(static_cast<frame_kind>(e.aux16)) << "\"}}";
+        break;
+      case event_kind::frame_end:
+        emit_frame_name(name, sizeof name, e.frame);
+        os << "{\"name\":\"" << name << "\",\"cat\":\"frame\",\"ph\":\"E\",\"ts\":"
+           << num << ",\"pid\":0,\"tid\":" << tid << "}";
+        break;
+      case event_kind::sync_begin:
+        os << "{\"name\":\"sync\",\"cat\":\"sync\",\"ph\":\"B\",\"ts\":" << num
+           << ",\"pid\":0,\"tid\":" << tid << ",\"args\":{\"implicit\":"
+           << (e.aux16 ? "true" : "false") << "}}";
+        break;
+      case event_kind::sync_end:
+        os << "{\"name\":\"sync\",\"cat\":\"sync\",\"ph\":\"E\",\"ts\":" << num
+           << ",\"pid\":0,\"tid\":" << tid << "}";
+        break;
+      case event_kind::spawn:
+        os << "{\"name\":\"spawn\",\"cat\":\"spawn\",\"ph\":\"i\",\"s\":\"t\",\"ts\":"
+           << num << ",\"pid\":0,\"tid\":" << tid << ",\"args\":{\"rank\":"
+           << e.aux32 << "}}";
+        break;
+      case event_kind::steal:
+        os << "{\"name\":\"steal\",\"cat\":\"steal\",\"ph\":\"i\",\"s\":\"p\",\"ts\":"
+           << num << ",\"pid\":0,\"tid\":" << tid << ",\"args\":{\"victim\":"
+           << e.aux16 << "}}";
+        break;
+    }
+  }
+  os << "]}";
+}
+
+}  // namespace cilkpp::trace

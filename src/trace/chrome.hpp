@@ -1,0 +1,27 @@
+// Chrome/Perfetto trace-event JSON export.
+//
+// Writes the timeline's merged event stream in the Trace Event Format
+// (JSON array form under "traceEvents") consumed by chrome://tracing,
+// Perfetto's legacy importer, and speedscope. One JSON event is emitted per
+// trace event — the exported count equals timeline::recorded exactly, which
+// the trace tests (and the acceptance bar) check against the rings'
+// recorded+dropped totals.
+//
+// Mapping:
+//   frame_begin/frame_end  → "B"/"E" duration events (one lane per worker)
+//   sync_begin/sync_end    → "B"/"E" of a nested "sync" span (helped/stolen
+//                            frames executed during the wait nest inside it)
+//   spawn, steal           → "i" instant events (steal carries the victim)
+#pragma once
+
+#include <iosfwd>
+
+#include "trace/timeline.hpp"
+
+namespace cilkpp::trace {
+
+/// Writes the timeline as Chrome trace-event JSON. Timestamps are
+/// microseconds relative to the trace window's start.
+void write_chrome_trace(std::ostream& os, const timeline& t);
+
+}  // namespace cilkpp::trace

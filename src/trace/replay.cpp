@@ -1,0 +1,122 @@
+#include "trace/replay.hpp"
+
+#include "dag/builder.hpp"
+#include "support/timing.hpp"
+
+namespace cilkpp::trace {
+
+namespace {
+
+struct replay_state {
+  const timeline* t = nullptr;
+  dag::sp_builder* b = nullptr;
+  reconstruction* rec = nullptr;
+};
+
+void replay_frame(replay_state& st, const frame_info& f) {
+  // Invariant from the sweep: strand_ns.size() == controls.size() + 1.
+  for (std::size_t i = 0; i < f.strand_ns.size(); ++i) {
+    st.b->account(f.strand_ns[i]);
+    st.rec->measured_busy_ns += f.strand_ns[i];
+    if (i >= f.controls.size()) continue;
+    const strand_control& c = f.controls[i];
+    switch (c.t) {
+      case strand_control::type::spawn: {
+        st.b->begin_spawn();
+        auto it = st.t->frames.find(c.child);
+        if (it == st.t->frames.end()) {
+          ++st.rec->missing_frames;  // ring drop: replay an empty child
+        } else {
+          replay_frame(st, it->second);
+        }
+        st.b->end_spawn();
+        break;
+      }
+      case strand_control::type::call: {
+        st.b->begin_call();
+        auto it = st.t->frames.find(c.child);
+        if (it == st.t->frames.end()) {
+          ++st.rec->missing_frames;
+        } else {
+          replay_frame(st, it->second);
+        }
+        st.b->end_call();
+        break;
+      }
+      case strand_control::type::sync:
+        st.b->sync();
+        break;
+    }
+  }
+  ++st.rec->frames;
+}
+
+}  // namespace
+
+reconstruction reconstruct_dag(const timeline& t) {
+  reconstruction rec;
+  rec.measured_wall_ns = t.span_ns();
+  if (!t.has_root) return rec;
+  auto root = t.frames.find(t.root);
+  if (root == t.frames.end()) return rec;
+
+  dag::sp_builder builder;
+  replay_state st{&t, &builder, &rec};
+  replay_frame(st, root->second);
+  rec.g = std::move(builder).finish();
+  return rec;
+}
+
+what_if_report what_if(const timeline& t,
+                       const std::vector<unsigned>& processors,
+                       replay_options opts) {
+  what_if_report report;
+  report.rec = reconstruct_dag(t);
+  if (report.rec.g.num_vertices() == 0) {
+    report.within_bounds = false;
+    return report;
+  }
+  report.prof = cilkview::analyze_dag(report.rec.g, opts.burden_ns);
+
+  sim::machine_config cfg;
+  cfg.steal_latency = std::max<std::uint64_t>(1, opts.steal_latency_ns);
+  cfg.policy = opts.policy;
+  cfg.seed = opts.seed;
+  const std::vector<sim::sim_result> results =
+      sim::simulate_sweep(report.rec.g, cfg, processors);
+
+  for (std::size_t i = 0; i < processors.size(); ++i) {
+    const sim::sim_result& r = results[i];
+    what_if_point pt;
+    pt.processors = processors[i];
+    pt.predicted_ns = r.makespan;
+    pt.predicted_speedup =
+        r.makespan == 0 ? 0.0
+                        : static_cast<double>(report.prof.work) /
+                              static_cast<double>(r.makespan);
+    pt.upper_bound = cilkview::speedup_upper_bound(report.prof, pt.processors);
+    pt.burdened_estimate =
+        cilkview::burdened_speedup_estimate(report.prof, pt.processors);
+    pt.sim_steals = r.steals;
+    report.within_bounds &= cilkview::speedup_within_bounds(
+        report.prof, pt.processors, pt.predicted_speedup);
+    report.points.push_back(pt);
+  }
+  return report;
+}
+
+table what_if_table(const what_if_report& r) {
+  table out{"P", "predicted_ms", "speedup", "upper_bound", "burdened_est",
+            "sim_steals"};
+  out.set_title("what-if replay (measured work " +
+                table::format_cell(ns_to_ms(r.rec.measured_busy_ns)) +
+                " ms, parallelism " + table::format_cell(r.prof.parallelism()) +
+                ")");
+  for (const what_if_point& pt : r.points) {
+    out.row(pt.processors, ns_to_ms(pt.predicted_ns), pt.predicted_speedup,
+            pt.upper_bound, pt.burdened_estimate, pt.sim_steals);
+  }
+  return out;
+}
+
+}  // namespace cilkpp::trace

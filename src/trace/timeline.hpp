@@ -1,0 +1,115 @@
+// Post-run assembly of per-worker event rings into one analyzed timeline.
+//
+// Each worker's ring holds its events in program order with monotonic
+// timestamps, so a per-worker sweep can reconstruct, for every frame, the
+// *exclusive* time of each of its strands (time the home worker actually
+// spent in that strand, with nested frames and sync-waits subtracted), plus
+// per-worker utilization, steal provenance, and steal-interval statistics.
+//
+// The sweep maintains a frame stack per worker (begin pushes, end pops;
+// sync_begin/sync_end mark the frame as waiting) and attributes every gap
+// between consecutive events to the frame — or to scheduling/idle time —
+// that owned the worker during the gap. Dropped events (counted by the
+// rings) can unbalance the stack; the sweep recovers and counts each
+// recovery in `anomalies` rather than failing.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "support/stats.hpp"
+#include "support/table.hpp"
+#include "trace/event.hpp"
+
+namespace cilkpp::trace {
+
+/// One parallel-control boundary inside a frame: strand i ends at control
+/// i, and the frame has controls.size() + 1 strands.
+struct strand_control {
+  enum class type : std::uint8_t { spawn, call, sync };
+  type t = type::sync;
+  std::uint64_t child = 0;  ///< spawned/called child frame (0 for sync)
+};
+
+/// Everything the trace knows about one frame (keyed by pedigree hash).
+struct frame_info {
+  std::uint64_t ped = 0;
+  std::uint64_t parent = 0;  ///< 0 for the root
+  frame_kind kind = frame_kind::root;
+  std::uint32_t depth = 0;
+  std::uint8_t worker = 0;   ///< home worker (frames never migrate)
+  std::uint64_t begin_ns = 0;
+  std::uint64_t end_ns = 0;
+  /// Exclusive nanoseconds per strand (strands.size() == controls.size()+1
+  /// once the frame has ended).
+  std::vector<std::uint64_t> strand_ns;
+  std::vector<strand_control> controls;
+  bool ended = false;
+
+  std::uint64_t exclusive_ns() const {
+    std::uint64_t total = 0;
+    for (std::uint64_t s : strand_ns) total += s;
+    return total;
+  }
+};
+
+/// One successful steal, thief-side.
+struct steal_info {
+  std::uint64_t time_ns = 0;
+  std::uint8_t thief = 0;
+  std::uint16_t victim = 0;
+  std::uint64_t stolen_frame = 0;  ///< child frame that migrated
+  std::uint64_t parent_frame = 0;  ///< frame whose child it was
+};
+
+/// Per-worker time accounting over the trace window [t0, t1].
+struct worker_lane {
+  std::uint64_t busy_ns = 0;        ///< executing strands of some frame
+  std::uint64_t scheduling_ns = 0;  ///< inside a sync wait: stealing/helping
+  std::uint64_t idle_ns = 0;        ///< window remainder (no frame on stack)
+  std::uint64_t events = 0;
+  std::uint64_t steals = 0;
+  accumulator steal_interval_ns;    ///< gaps between consecutive steals
+};
+
+struct timeline {
+  unsigned workers = 0;
+  std::uint64_t t0 = 0;  ///< earliest event timestamp
+  std::uint64_t t1 = 0;  ///< latest event timestamp
+  std::vector<worker_lane> lanes;
+  std::unordered_map<std::uint64_t, frame_info> frames;
+  std::vector<steal_info> steals;  ///< time-sorted
+  /// steals_by_victim[thief][victim], from steal events.
+  std::vector<std::vector<std::uint64_t>> steals_by_victim;
+  /// Merged event stream, stable-sorted by timestamp (per-worker order is
+  /// preserved) — the input to the Chrome exporter.
+  std::vector<event> events;
+  std::uint64_t recorded = 0;   ///< Σ ring recorded()
+  std::uint64_t dropped = 0;    ///< Σ ring dropped()
+  std::uint64_t anomalies = 0;  ///< sweep recoveries (0 on a drop-free trace)
+  std::uint64_t root = 0;       ///< ped of the root frame (if seen)
+  bool has_root = false;
+
+  /// Wall-clock span of the trace window.
+  std::uint64_t span_ns() const { return t1 - t0; }
+  /// Σ over frames of exclusive strand time — the measured serial work.
+  std::uint64_t total_busy_ns() const;
+  /// Σ busy / (workers · span): the fraction of the window spent in
+  /// strands, machine-wide.
+  double utilization() const;
+};
+
+/// Assembles drained rings (one event vector per worker, in ring order)
+/// into a timeline. recorded/dropped are the Σ of the rings' counters.
+timeline assemble(std::vector<std::vector<event>> per_worker,
+                  std::uint64_t recorded, std::uint64_t dropped);
+
+/// Per-worker utilization table: busy/scheduling/idle ns and percentages.
+table utilization_table(const timeline& t);
+/// Steals-by-victim matrix (rows = thieves, columns = victims).
+table steal_matrix_table(const timeline& t);
+/// Per-thief steal-interval statistics (count, mean/min/max gap).
+table steal_interval_table(const timeline& t);
+
+}  // namespace cilkpp::trace

@@ -343,6 +343,32 @@ TEST(Stats, PerWorkerBreakdownSumsToTotal) {
   EXPECT_EQ(sum.steals, sched.stats().steals);
 }
 
+TEST(Stats, StealProvenanceSumsToSteals) {
+  scheduler sched(4);
+  sched.reset_stats();
+  sched.run([](context& ctx) { (void)fib(ctx, 20); });
+  const auto per = sched.per_worker_stats();
+  ASSERT_EQ(per.size(), 4u);
+  std::uint64_t total_by_victim = 0;
+  for (std::size_t w = 0; w < per.size(); ++w) {
+    ASSERT_EQ(per[w].steals_by_victim.size(), 4u);
+    // Nobody steals from themselves, and each thief's per-victim counts
+    // add up to exactly its successful steals.
+    EXPECT_EQ(per[w].steals_by_victim[w], 0u);
+    std::uint64_t row = 0;
+    for (std::uint64_t c : per[w].steals_by_victim) row += c;
+    EXPECT_EQ(row, per[w].steals);
+    total_by_victim += row;
+  }
+  EXPECT_EQ(total_by_victim, sched.stats().steals);
+  // The merged aggregate view carries the same provenance totals.
+  worker_stats sum;
+  for (const auto& w : per) sum.merge(w);
+  std::uint64_t merged = 0;
+  for (std::uint64_t c : sum.steals_by_victim) merged += c;
+  EXPECT_EQ(merged, sum.steals);
+}
+
 // --- More edge cases. ---
 
 TEST(EdgeCases, ExceptionInsideParallelForBody) {
