@@ -29,7 +29,17 @@ context::~context() {
   CILKPP_ASSERT(finished_, "context destroyed before its epilogue ran");
   // The destructor runs on the home worker for every frame kind (child
   // stealing never migrates a frame), so begin/end pairs nest per worker.
-  trace_record(home_, trace::event_kind::frame_end, ped_hash_);
+  //
+  // Spawned frames record frame_end inside finish_spawned instead: this
+  // destructor runs *after* the parent's pending_ count was release-
+  // decremented, so the root sync could already have passed and trace
+  // teardown (session::assemble → scheduler::remove_trace + ring drain)
+  // could race a record issued here. Root and called frames are destroyed
+  // strictly inside run() on the thread that will later tear the trace
+  // down, so recording here is safe for them.
+  if (kind_ != kind::spawned) {
+    trace_record(home_, trace::event_kind::frame_end, ped_hash_);
+  }
 }
 
 std::size_t context::reserve_child_slot() {
@@ -121,6 +131,12 @@ void context::finish_spawned(std::exception_ptr body_exception) noexcept {
     s.exception = deliver;
   }
   finished_ = true;
+  // frame_end must be recorded *before* the parent learns this child is
+  // done: the decrement below may let the enclosing syncs — up to the root
+  // — complete, after which run() returns and the trace session may detach
+  // and drain the rings. Any record after this point would race that
+  // teardown (lost events at best, a push into a freed ring at worst).
+  trace_record(home_, trace::event_kind::frame_end, ped_hash_);
   // Release so the parent's post-sync fold sees the delivered views.
   parent->pending_.fetch_sub(1, std::memory_order_release);
 }

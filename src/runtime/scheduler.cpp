@@ -122,6 +122,8 @@ void scheduler::install_trace(const std::vector<trace::event_ring*>& rings) {
                 "install_trace while a run is in flight");
   CILKPP_ASSERT(rings.size() == workers_.size(),
                 "install_trace needs one ring per worker");
+  CILKPP_ASSERT(workers_.size() <= (std::size_t{1} << 16),
+                "trace events carry a 16-bit worker id");
   // Release: a worker that observes the pointer must also observe the
   // ring's initialized storage.
   for (std::size_t i = 0; i < workers_.size(); ++i) {
@@ -136,8 +138,15 @@ void scheduler::remove_trace() {
 #if CILKPP_TRACE_ENABLED
   CILKPP_ASSERT(!run_active_.load(std::memory_order_acquire),
                 "remove_trace while a run is in flight");
-  // With no run in flight there are no frames and no stealable tasks, so
-  // no worker can be mid-record; clearing the pointers is sufficient.
+  // With no run in flight no worker can be mid-record, so clearing the
+  // pointers is sufficient. Why: every record a worker issues while
+  // executing a task completes before that task's frame release-decrements
+  // its parent's pending_ (finish_spawned records frame_end last, before
+  // the decrement), and the steal record completes while the stolen task's
+  // parent still has pending_ > 0 — so all of them happen-before the root
+  // sync's acquire of pending_ == 0, i.e. before run() returned. After
+  // that, a pool worker only records on a *successful* steal, and with no
+  // run in flight every deque is empty.
   for (auto& w : workers_) {
     w->trace_ring.store(nullptr, std::memory_order_release);
   }

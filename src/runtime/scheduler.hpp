@@ -152,7 +152,7 @@ inline void trace_record(worker* w, trace::event_kind kind, std::uint64_t frame,
 #if CILKPP_TRACE_ENABLED
   if (trace::event_ring* ring = w->trace_ring.load(std::memory_order_acquire)) {
     ring->try_push(trace::event{now_ns(), frame, aux64, aux32, aux16, kind,
-                                static_cast<std::uint8_t>(w->id)});
+                                static_cast<std::uint16_t>(w->id)});
   }
 #else
   (void)w; (void)kind; (void)frame; (void)aux64; (void)aux32; (void)aux16;

@@ -35,7 +35,7 @@ enum class event_kind : std::uint8_t {
 /// What kind of frame a frame_begin opens (mirrors rt::context::kind).
 enum class frame_kind : std::uint8_t { root = 0, spawned = 1, called = 2 };
 
-/// One trace record: 32 bytes, trivially copyable, written by exactly one
+/// One trace record: 40 bytes, trivially copyable, written by exactly one
 /// worker (the one named in `worker`).
 struct event {
   std::uint64_t time_ns = 0;  ///< cilkpp::now_ns() at the record site
@@ -44,9 +44,12 @@ struct event {
   std::uint32_t aux32 = 0;
   std::uint16_t aux16 = 0;
   event_kind kind = event_kind::frame_begin;
-  std::uint8_t worker = 0;    ///< id of the recording worker (mod 256)
+  /// Id of the recording worker. 16 bits matches the width of the steal
+  /// event's victim field (aux16); scheduler::install_trace asserts the
+  /// worker count fits.
+  std::uint16_t worker = 0;
 };
 
-static_assert(sizeof(event) == 32, "event is sized for ring arithmetic");
+static_assert(sizeof(event) == 40, "event is sized for ring arithmetic");
 
 }  // namespace cilkpp::trace

@@ -7,49 +7,14 @@ namespace cilkpp::trace {
 
 namespace {
 
-struct replay_state {
-  const timeline* t = nullptr;
-  dag::sp_builder* b = nullptr;
-  reconstruction* rec = nullptr;
+/// One in-progress frame on the explicit replay stack: the index of the
+/// strand being replayed, and whether the walk is returning from a child
+/// that controls[i] pushed.
+struct replay_cursor {
+  const frame_info* f = nullptr;
+  std::size_t i = 0;
+  bool returning = false;
 };
-
-void replay_frame(replay_state& st, const frame_info& f) {
-  // Invariant from the sweep: strand_ns.size() == controls.size() + 1.
-  for (std::size_t i = 0; i < f.strand_ns.size(); ++i) {
-    st.b->account(f.strand_ns[i]);
-    st.rec->measured_busy_ns += f.strand_ns[i];
-    if (i >= f.controls.size()) continue;
-    const strand_control& c = f.controls[i];
-    switch (c.t) {
-      case strand_control::type::spawn: {
-        st.b->begin_spawn();
-        auto it = st.t->frames.find(c.child);
-        if (it == st.t->frames.end()) {
-          ++st.rec->missing_frames;  // ring drop: replay an empty child
-        } else {
-          replay_frame(st, it->second);
-        }
-        st.b->end_spawn();
-        break;
-      }
-      case strand_control::type::call: {
-        st.b->begin_call();
-        auto it = st.t->frames.find(c.child);
-        if (it == st.t->frames.end()) {
-          ++st.rec->missing_frames;
-        } else {
-          replay_frame(st, it->second);
-        }
-        st.b->end_call();
-        break;
-      }
-      case strand_control::type::sync:
-        st.b->sync();
-        break;
-    }
-  }
-  ++st.rec->frames;
-}
 
 }  // namespace
 
@@ -60,10 +25,73 @@ reconstruction reconstruct_dag(const timeline& t) {
   auto root = t.frames.find(t.root);
   if (root == t.frames.end()) return rec;
 
-  dag::sp_builder builder;
-  replay_state st{&t, &builder, &rec};
-  replay_frame(st, root->second);
-  rec.g = std::move(builder).finish();
+  dag::sp_builder b;
+  // Explicit work-stack iteration, not recursion: the traced frame tree is
+  // as deep as the program's spawn/call depth — which the real run spread
+  // across P worker stacks but a recursive replay would pile onto one —
+  // and a corrupted trace could even link child frames into a cycle.
+  std::vector<replay_cursor> stack;
+  stack.push_back({&root->second});
+  std::size_t entered = 1;  // frames descended into, root included
+  while (!stack.empty()) {
+    replay_cursor& top = stack.back();
+    const frame_info& f = *top.f;
+    if (top.returning) {
+      // The child pushed for controls[i] finished; close its sp-builder
+      // scope and move to the next strand.
+      if (f.controls[top.i].t == strand_control::type::spawn) {
+        b.end_spawn();
+      } else {
+        b.end_call();
+      }
+      top.returning = false;
+      ++top.i;
+      continue;
+    }
+    // Invariant from the sweep: strand_ns.size() == controls.size() + 1.
+    if (top.i >= f.strand_ns.size()) {
+      ++rec.frames;
+      stack.pop_back();
+      if (!stack.empty()) stack.back().returning = true;
+      continue;
+    }
+    b.account(f.strand_ns[top.i]);
+    rec.measured_busy_ns += f.strand_ns[top.i];
+    if (top.i >= f.controls.size()) {
+      ++top.i;
+      continue;
+    }
+    const strand_control& c = f.controls[top.i];
+    if (c.t == strand_control::type::sync) {
+      b.sync();
+      ++top.i;
+      continue;
+    }
+    const bool is_spawn = c.t == strand_control::type::spawn;
+    if (is_spawn) {
+      b.begin_spawn();
+    } else {
+      b.begin_call();
+    }
+    auto it = t.frames.find(c.child);
+    // A well-formed trace enters each frame exactly once, so more descents
+    // than there are frames means the child links revisit a frame (a cycle
+    // or a duplicated link from a corrupted trace): replay such a child as
+    // missing rather than walking forever.
+    if (it == t.frames.end() || entered >= t.frames.size()) {
+      ++rec.missing_frames;  // ring drop (or bad link): an empty child
+      if (is_spawn) {
+        b.end_spawn();
+      } else {
+        b.end_call();
+      }
+      ++top.i;
+    } else {
+      ++entered;
+      stack.push_back({&it->second});  // invalidates `top`
+    }
+  }
+  rec.g = std::move(b).finish();
   return rec;
 }
 
@@ -98,8 +126,16 @@ what_if_report what_if(const timeline& t,
     pt.burdened_estimate =
         cilkview::burdened_speedup_estimate(report.prof, pt.processors);
     pt.sim_steals = r.steals;
-    report.within_bounds &= cilkview::speedup_within_bounds(
+    // Sanity-check the prediction in both directions. Above: the Work and
+    // Span Laws cap any honest speedup. Below: a prediction far under
+    // cilkview's burdened lower curve means a degenerate simulation (e.g.
+    // an absurd steal cost or a broken reconstruction), not a plausible
+    // schedule. The burdened curve is an estimate, not a law, and the
+    // simulator is stochastic, so the lower check gets factor-2 slack.
+    const bool under_upper = cilkview::speedup_within_bounds(
         report.prof, pt.processors, pt.predicted_speedup);
+    const bool over_lower = pt.predicted_speedup >= 0.5 * pt.burdened_estimate;
+    report.within_bounds &= under_upper && over_lower;
     report.points.push_back(pt);
   }
   return report;

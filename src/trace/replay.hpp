@@ -45,7 +45,9 @@ struct reconstruction {
   std::uint64_t measured_wall_ns = 0;
   std::size_t frames = 0;
   /// Spawned/called children referenced by a control event but missing
-  /// from the trace (ring drops); replayed as empty frames.
+  /// from the trace (ring drops), plus children whose links would revisit
+  /// a frame (cycle/duplicate in a corrupted trace); replayed as empty
+  /// frames.
   std::size_t missing_frames = 0;
 };
 
@@ -68,8 +70,10 @@ struct what_if_report {
   reconstruction rec;
   cilkview::profile prof;  ///< work/span/burden of the reconstructed dag
   std::vector<what_if_point> points;
-  /// True iff every prediction respects the Work/Span-Law upper bound
-  /// (within the simulator's stochastic tolerance).
+  /// True iff every prediction lies between cilkview's burdened lower
+  /// curve (with factor-2 slack — it is an estimate, and the simulator is
+  /// stochastic) and the Work/Span-Law upper bound (within tolerance). A
+  /// false value flags a degenerate simulation, not a program property.
   bool within_bounds = true;
 };
 

@@ -38,7 +38,7 @@ struct frame_info {
   std::uint64_t parent = 0;  ///< 0 for the root
   frame_kind kind = frame_kind::root;
   std::uint32_t depth = 0;
-  std::uint8_t worker = 0;   ///< home worker (frames never migrate)
+  std::uint16_t worker = 0;  ///< home worker (frames never migrate)
   std::uint64_t begin_ns = 0;
   std::uint64_t end_ns = 0;
   /// Exclusive nanoseconds per strand (strands.size() == controls.size()+1
@@ -57,7 +57,7 @@ struct frame_info {
 /// One successful steal, thief-side.
 struct steal_info {
   std::uint64_t time_ns = 0;
-  std::uint8_t thief = 0;
+  std::uint16_t thief = 0;
   std::uint16_t victim = 0;
   std::uint64_t stolen_frame = 0;  ///< child frame that migrated
   std::uint64_t parent_frame = 0;  ///< frame whose child it was

@@ -28,7 +28,7 @@ using cilkpp::rt::scheduler;
 
 event make_event(std::uint64_t t, event_kind k, std::uint64_t frame,
                  std::uint64_t aux64 = 0, std::uint32_t aux32 = 0,
-                 std::uint16_t aux16 = 0, std::uint8_t worker = 0) {
+                 std::uint16_t aux16 = 0, std::uint16_t worker = 0) {
   return event{t, frame, aux64, aux32, aux16, k, worker};
 }
 
@@ -133,6 +133,57 @@ TEST(Timeline, SweepAttributesExclusiveTimeAndReplayMatches) {
   const sim::sim_result r1 = sim::simulate(rec.g, cfg);
   EXPECT_EQ(r1.work, 40u);
   EXPECT_EQ(r1.makespan, 40u);  // 1 processor: T1 == measured serial work
+}
+
+TEST(Replay, DeepCalledChainReplaysIterativelyWithoutOverflow) {
+  // A 200k-deep chain of called frames: the real run spreads this depth
+  // across worker stacks, so the replay must not pile it onto one host
+  // stack via recursion (it used to).
+  timeline t;
+  t.workers = 1;
+  t.has_root = true;
+  t.root = 1;
+  const std::uint64_t depth = 200000;
+  for (std::uint64_t i = 1; i <= depth; ++i) {
+    frame_info f;
+    f.ped = i;
+    f.kind = i == 1 ? frame_kind::root : frame_kind::called;
+    f.strand_ns = {1};
+    if (i < depth) {
+      f.controls.push_back({strand_control::type::call, i + 1});
+      f.strand_ns.push_back(1);
+    }
+    t.frames.emplace(i, std::move(f));
+  }
+  reconstruction rec = reconstruct_dag(t);
+  EXPECT_EQ(rec.frames, depth);
+  EXPECT_EQ(rec.missing_frames, 0u);
+  EXPECT_EQ(rec.measured_busy_ns, 2 * depth - 1);
+}
+
+TEST(Replay, CyclicChildLinksAreCutNotWalkedForever) {
+  // A corrupted trace whose child links cycle back to the root: the walk
+  // must terminate, replaying the revisited child as missing.
+  timeline t;
+  t.workers = 1;
+  t.has_root = true;
+  t.root = 1;
+  frame_info root;
+  root.ped = 1;
+  root.kind = frame_kind::root;
+  root.strand_ns = {5, 5};
+  root.controls.push_back({strand_control::type::spawn, 2});
+  frame_info child;
+  child.ped = 2;
+  child.kind = frame_kind::spawned;
+  child.strand_ns = {3, 3};
+  child.controls.push_back({strand_control::type::call, 1});  // back edge
+  t.frames.emplace(1, std::move(root));
+  t.frames.emplace(2, std::move(child));
+  reconstruction rec = reconstruct_dag(t);
+  EXPECT_EQ(rec.frames, 2u);
+  EXPECT_EQ(rec.missing_frames, 1u);
+  EXPECT_EQ(rec.measured_busy_ns, 16u);
 }
 
 // ---------------------------------------------------------------------------
