@@ -1,0 +1,85 @@
+// Deep schedule fuzzing — the nightly CI driver.
+//
+// Runs fuzz batches (fresh program seeds every batch, all chaos seeds
+// rotated) until a wall-clock budget expires, then prints a summary. Any
+// oracle failure is written — with its deterministically-reproducing seeds
+// — to a failure file that CI uploads as an artifact, and the process
+// exits nonzero.
+//
+// Environment:
+//   STRESS_FUZZ_SECONDS  wall-clock budget (default 5)
+//   STRESS_FUZZ_SEED     base program seed of the first batch (default
+//                        derived from the clock, printed for replay)
+//   STRESS_FUZZ_OUT      failure file path (default stress-failures.txt)
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "stress/oracle.hpp"
+
+int main() {
+  using namespace cilkpp::stress;
+
+  double budget_s = 5.0;
+  if (const char* e = std::getenv("STRESS_FUZZ_SECONDS")) {
+    budget_s = std::atof(e);
+    if (budget_s <= 0) budget_s = 5.0;
+  }
+  std::uint64_t base_seed = static_cast<std::uint64_t>(
+      std::chrono::system_clock::now().time_since_epoch().count());
+  if (const char* e = std::getenv("STRESS_FUZZ_SEED")) {
+    base_seed = std::strtoull(e, nullptr, 0);
+  }
+  const char* out_path = std::getenv("STRESS_FUZZ_OUT");
+  if (out_path == nullptr || out_path[0] == '\0') {
+    out_path = "stress-failures.txt";
+  }
+
+  std::printf("stress_fuzz: budget=%.0fs base_seed=%llu (replay with "
+              "STRESS_FUZZ_SEED=%llu)\n",
+              budget_s, static_cast<unsigned long long>(base_seed),
+              static_cast<unsigned long long>(base_seed));
+
+  stress_harness harness;
+  fuzz_report total;
+  const auto t0 = std::chrono::steady_clock::now();
+  unsigned batch = 0;
+  while (true) {
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    if (elapsed >= budget_s) break;
+
+    fuzz_options opt;
+    opt.programs = 100;
+    opt.base_program_seed = base_seed + std::uint64_t{batch} * opt.programs;
+    // Deeper programs than tier-1, and every chaos seed on every program.
+    opt.size = 20;
+    opt.chaos_per_program =
+        static_cast<unsigned>(default_chaos_seeds().size());
+    const fuzz_report rep = harness.fuzz(opt);
+
+    total.programs += rep.programs;
+    total.threaded_runs += rep.threaded_runs;
+    total.chaos_seeds_used =
+        std::max(total.chaos_seeds_used, rep.chaos_seeds_used);
+    total.fingerprint = hash_combine(total.fingerprint, rep.fingerprint);
+    for (const stress_failure& f : rep.failures) total.failures.push_back(f);
+    ++batch;
+    if (!rep.ok()) break;  // stop early: the seeds are already in hand
+  }
+
+  std::printf("%s\n", total.summary().c_str());
+  if (total.ok()) return 0;
+
+  if (std::FILE* out = std::fopen(out_path, "w")) {
+    for (const stress_failure& f : total.failures) {
+      std::fprintf(out, "%s\n\n", f.describe().c_str());
+    }
+    std::fclose(out);
+    std::printf("stress_fuzz: wrote %zu failure(s) to %s\n",
+                total.failures.size(), out_path);
+  }
+  return 1;
+}

@@ -19,6 +19,14 @@ context::context(scheduler* sched, worker* home, context* parent,
   if (depth_ > home_->max_frame_depth.load(std::memory_order_relaxed)) {
     home_->max_frame_depth.store(depth_, std::memory_order_relaxed);
   }
+  // Live-frame census (ctor/dtor both run on the home worker): the current
+  // count is this worker's call depth including nested helping; its peak
+  // bounds the deque depth in the stress oracle's busy-leaves check.
+  const std::uint64_t live =
+      home_->live_frames.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (live > home_->peak_live_frames.load(std::memory_order_relaxed)) {
+    home_->peak_live_frames.store(live, std::memory_order_relaxed);
+  }
   trace_record(home_, trace::event_kind::frame_begin, ped_hash_,
                parent_ == nullptr ? 0 : parent_->ped_hash_,
                static_cast<std::uint32_t>(depth_),
@@ -40,6 +48,9 @@ context::~context() {
   if (kind_ != kind::spawned) {
     trace_record(home_, trace::event_kind::frame_end, ped_hash_);
   }
+  const std::uint64_t prior =
+      home_->live_frames.fetch_sub(1, std::memory_order_relaxed);
+  CILKPP_ASSERT(prior != 0, "live-frame census underflow");
 }
 
 std::size_t context::reserve_child_slot() {
@@ -53,6 +64,7 @@ void context::wait_children() noexcept {
   // awaited. While they run elsewhere, this worker helps — first its own
   // deque (deepest work, preserving the stack discipline), then stealing —
   // rather than blocking the OS thread.
+  chaos_perturb(home_, chaos_point::sync_enter);
   std::uint32_t idle_rounds = 0;
   while (pending_.load(std::memory_order_acquire) != 0) {
     if (sched_->help_one(*home_)) {
@@ -65,6 +77,7 @@ void context::wait_children() noexcept {
       std::this_thread::sleep_for(std::chrono::microseconds(50));
     }
   }
+  chaos_perturb(home_, chaos_point::sync_exit);
 }
 
 std::exception_ptr context::fold_slots() {
@@ -138,7 +151,9 @@ void context::finish_spawned(std::exception_ptr body_exception) noexcept {
   // teardown (lost events at best, a push into a freed ring at worst).
   trace_record(home_, trace::event_kind::frame_end, ped_hash_);
   // Release so the parent's post-sync fold sees the delivered views.
-  parent->pending_.fetch_sub(1, std::memory_order_release);
+  const std::uint32_t prior =
+      parent->pending_.fetch_sub(1, std::memory_order_release);
+  CILKPP_ASSERT(prior != 0, "pending child count underflow");
 }
 
 void context::finish_called() {
@@ -223,6 +238,8 @@ void worker_stats::merge(const worker_stats& o) {
   steal_attempts += o.steal_attempts;
   tasks_executed += o.tasks_executed;
   max_frame_depth = std::max(max_frame_depth, o.max_frame_depth);
+  peak_deque = std::max(peak_deque, o.peak_deque);
+  peak_live_frames = std::max(peak_live_frames, o.peak_live_frames);
   if (steals_by_victim.size() < o.steals_by_victim.size()) {
     steals_by_victim.resize(o.steals_by_victim.size(), 0);
   }

@@ -55,6 +55,15 @@ void scheduler::worker_main(unsigned id) {
 }
 
 bool scheduler::help_one(worker& w) {
+#if CILKPP_STRESS_ENABLED
+  // Force-steal-everything: under chaos, a worker may be told to serve
+  // another deque before its own, maximizing task migration. A failed
+  // forced steal falls through to the normal path, so progress is kept.
+  if (chaos_policy* c = w.chaos.load(std::memory_order_acquire)) {
+    if (c->prefer_steal(w.id) && steal_and_execute(w)) return true;
+  }
+#endif
+  chaos_perturb(&w, chaos_point::pop_bottom);
   if (std::optional<task*> t = w.deque.pop_bottom()) {
     execute(w, *t);
     return true;
@@ -68,8 +77,20 @@ bool scheduler::steal_and_execute(worker& w) {
   // A few randomized attempts; "lost" races retry, "empty" moves on.
   const std::size_t rounds = 2 * n;
   for (std::size_t i = 0; i < rounds; ++i) {
-    std::size_t victim = w.rng.below(n - 1);
-    if (victim >= w.id) ++victim;  // uniform over workers != w
+    chaos_perturb(&w, chaos_point::steal_attempt);
+    std::size_t victim = n;
+#if CILKPP_STRESS_ENABLED
+    // Chaos may skew victim selection (always-victim-0, round-robin, …);
+    // out-of-range or self answers keep the default uniform draw.
+    if (chaos_policy* c = w.chaos.load(std::memory_order_acquire)) {
+      const std::size_t v = c->pick_victim(w.id, n);
+      if (v < n && v != w.id) victim = v;
+    }
+#endif
+    if (victim == n) {
+      victim = w.rng.below(n - 1);
+      if (victim >= w.id) ++victim;  // uniform over workers != w
+    }
     w.steal_attempts.fetch_add(1, std::memory_order_relaxed);
     task* stolen = nullptr;
     if (workers_[victim]->deque.steal(stolen) == steal_result::success) {
@@ -81,6 +102,7 @@ bool scheduler::steal_and_execute(worker& w) {
       trace_record(&w, trace::event_kind::steal, stolen->child_ped_hash,
                    stolen->parent_frame->ped_hash_, 0,
                    static_cast<std::uint16_t>(victim));
+      chaos_perturb(&w, chaos_point::steal_success);
       execute(w, stolen);
       return true;
     }
@@ -90,22 +112,34 @@ bool scheduler::steal_and_execute(worker& w) {
 
 void scheduler::execute(worker& w, task* t) {
   w.tasks_executed.fetch_add(1, std::memory_order_relaxed);
+  chaos_perturb(&w, chaos_point::task_run);
   t->execute();
   destroy_task(t);
 }
 
 void scheduler::push(worker& w, task* t) {
   w.deque.push_bottom(t);
+  // Owner-only peak tracking: push_bottom runs on w's thread, so the
+  // estimate is exact here and the load-max-store is single-writer.
+  const auto depth = static_cast<std::uint64_t>(w.deque.size_estimate());
+  if (depth > w.peak_deque.load(std::memory_order_relaxed)) {
+    w.peak_deque.store(depth, std::memory_order_relaxed);
+  }
+  chaos_perturb(&w, chaos_point::spawn_push);
   if (idlers_.load(std::memory_order_relaxed) > 0) idle_cv_.notify_one();
 }
 
 worker_stats scheduler::stats() const {
+  CILKPP_ASSERT(!run_active_.load(std::memory_order_acquire),
+                "stats() while a run is in flight; snapshots require quiescence");
   worker_stats total;
   for (const auto& w : workers_) total.merge(w->snapshot_stats());
   return total;
 }
 
 std::vector<worker_stats> scheduler::per_worker_stats() const {
+  CILKPP_ASSERT(!run_active_.load(std::memory_order_acquire),
+                "per_worker_stats() while a run is in flight");
   std::vector<worker_stats> result;
   result.reserve(workers_.size());
   for (const auto& w : workers_) result.push_back(w->snapshot_stats());
@@ -113,6 +147,9 @@ std::vector<worker_stats> scheduler::per_worker_stats() const {
 }
 
 void scheduler::reset_stats() {
+  CILKPP_ASSERT(!run_active_.load(std::memory_order_acquire),
+                "reset_stats() while a run is in flight; a reset racing a "
+                "worker's updates would tear cross-counter invariants");
   for (auto& w : workers_) w->reset_stats();
 }
 
@@ -149,6 +186,35 @@ void scheduler::remove_trace() {
   // run in flight every deque is empty.
   for (auto& w : workers_) {
     w->trace_ring.store(nullptr, std::memory_order_release);
+  }
+#endif
+}
+
+void scheduler::install_chaos(chaos_policy* policy) {
+#if CILKPP_STRESS_ENABLED
+  CILKPP_ASSERT(!run_active_.load(std::memory_order_acquire),
+                "install_chaos while a run is in flight");
+  CILKPP_ASSERT(policy != nullptr, "install_chaos(nullptr); use remove_chaos");
+  for (auto& w : workers_) {
+    w->chaos.store(policy, std::memory_order_release);
+  }
+#else
+  (void)policy;
+#endif
+}
+
+void scheduler::remove_chaos() {
+#if CILKPP_STRESS_ENABLED
+  CILKPP_ASSERT(!run_active_.load(std::memory_order_acquire),
+                "remove_chaos while a run is in flight");
+  // Unlike remove_trace, clearing the pointers is NOT enough to free the
+  // policy immediately: chaos points fire on steal *attempts* too, so an
+  // idle worker that observed run_active_ during the previous run's tail
+  // may still be inside its bounded probe loop holding the old pointer.
+  // Hence the lifetime rule on install_chaos: the policy outlives the
+  // scheduler or the next completed run().
+  for (auto& w : workers_) {
+    w->chaos.store(nullptr, std::memory_order_release);
   }
 #endif
 }

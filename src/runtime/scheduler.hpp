@@ -50,10 +50,48 @@
 #include "trace/event.hpp"
 #include "trace/ring.hpp"
 
+#ifndef CILKPP_STRESS_ENABLED
+#define CILKPP_STRESS_ENABLED 1
+#endif
+
 namespace cilkpp::rt {
 
 class scheduler;
 class context;
+
+/// Scheduling boundaries at which an installed chaos_policy may perturb the
+/// schedule (src/stress). Every one of these is a point where the paper's
+/// guarantees must hold for *any* adversarial interleaving.
+enum class chaos_point : std::uint8_t {
+  spawn_push,     ///< a child task was pushed on the spawning worker's deque
+  pop_bottom,     ///< a worker is about to pop its own deque bottom
+  steal_attempt,  ///< a thief is about to probe a victim
+  steal_success,  ///< a thief stole a task and is about to run it
+  sync_enter,     ///< a frame entered a sync (explicit or implicit)
+  sync_exit,      ///< a frame's sync completed
+  task_run,       ///< a worker is about to execute a dequeued task
+};
+
+/// Schedule-perturbation hook, compiled in under CILKPP_STRESS_ENABLED
+/// (CMake option CILKPP_STRESS, default ON; every call site disappears when
+/// OFF). Installed via scheduler::install_chaos; src/stress/chaos.hpp
+/// provides the seeded implementation. Implementations are called
+/// concurrently from every worker and must not throw; `perturb` may yield
+/// or sleep but must always return (bounded delays only — an unbounded
+/// stall would turn a liveness property into a deadlock).
+class chaos_policy {
+ public:
+  virtual ~chaos_policy() = default;
+  /// Called at each scheduling boundary; may delay the calling worker.
+  virtual void perturb(unsigned worker_id, chaos_point p) = 0;
+  /// True: the worker tries to steal before popping its own deque
+  /// ("force-steal-everything" mode — maximizes task migration).
+  virtual bool prefer_steal(unsigned worker_id) = 0;
+  /// Victim override for one steal probe: return a victim id in
+  /// [0, nworkers) different from worker_id, or nworkers to keep the
+  /// default uniformly random choice.
+  virtual std::size_t pick_victim(unsigned worker_id, std::size_t nworkers) = 0;
+};
 
 /// A spawned child waiting in a deque. Allocated at spawn, freed after
 /// execution by the worker that ran it.
@@ -86,6 +124,14 @@ struct worker_stats {
   std::uint64_t steal_attempts = 0;  ///< including empty/lost attempts
   std::uint64_t tasks_executed = 0;
   std::uint64_t max_frame_depth = 0; ///< deepest spawned frame executed here
+  /// Deepest this worker's deque ever got (tasks awaiting execution). The
+  /// busy-leaves-style bound checked by the stress oracle: at any instant a
+  /// worker's deque holds only outstanding children of frames live on its
+  /// stack, so peak_deque ≤ max spawns-per-frame · peak_live_frames.
+  std::uint64_t peak_deque = 0;
+  /// Peak number of frames (contexts) simultaneously live on this worker —
+  /// its call depth including nested helping during syncs.
+  std::uint64_t peak_live_frames = 0;
   /// Steal provenance: steals_by_victim[v] = tasks this worker stole from
   /// worker v (Σ_v == steals). Empty only for a default-constructed value.
   std::vector<std::uint64_t> steals_by_victim;
@@ -108,6 +154,8 @@ struct worker {
     s.steal_attempts = steal_attempts.load(std::memory_order_relaxed);
     s.tasks_executed = tasks_executed.load(std::memory_order_relaxed);
     s.max_frame_depth = max_frame_depth.load(std::memory_order_relaxed);
+    s.peak_deque = peak_deque.load(std::memory_order_relaxed);
+    s.peak_live_frames = peak_live_frames.load(std::memory_order_relaxed);
     s.steals_by_victim.reserve(steals_from.size());
     for (const auto& c : steals_from) {
       s.steals_by_victim.push_back(c.load(std::memory_order_relaxed));
@@ -121,6 +169,8 @@ struct worker {
     steal_attempts.store(0, std::memory_order_relaxed);
     tasks_executed.store(0, std::memory_order_relaxed);
     max_frame_depth.store(0, std::memory_order_relaxed);
+    peak_deque.store(0, std::memory_order_relaxed);
+    peak_live_frames.store(0, std::memory_order_relaxed);
     for (auto& c : steals_from) c.store(0, std::memory_order_relaxed);
   }
 
@@ -133,9 +183,20 @@ struct worker {
   std::atomic<std::uint64_t> steal_attempts{0};
   std::atomic<std::uint64_t> tasks_executed{0};
   std::atomic<std::uint64_t> max_frame_depth{0};
+  std::atomic<std::uint64_t> peak_deque{0};
+  /// Frames currently live on this worker's stack; incremented/decremented
+  /// by context ctor/dtor (both always run on the home worker). Zero for
+  /// every worker once a run is quiescent — the shutdown-balance oracle.
+  std::atomic<std::uint64_t> live_frames{0};
+  std::atomic<std::uint64_t> peak_live_frames{0};
   /// steals_from[v]: successful steals whose victim was worker v. Sized at
   /// construction and never resized (atomics are immovable).
   std::vector<std::atomic<std::uint64_t>> steals_from;
+#if CILKPP_STRESS_ENABLED
+  /// Installed by scheduler::install_chaos; null when no chaos policy is
+  /// active. Read on every scheduling boundary (one load+branch when idle).
+  std::atomic<chaos_policy*> chaos{nullptr};
+#endif
 #if CILKPP_TRACE_ENABLED
   /// Installed by trace::session via scheduler::install_trace; null when no
   /// trace is being captured. Only this worker pushes into the ring.
@@ -156,6 +217,19 @@ inline void trace_record(worker* w, trace::event_kind kind, std::uint64_t frame,
   }
 #else
   (void)w; (void)kind; (void)frame; (void)aux64; (void)aux32; (void)aux16;
+#endif
+}
+
+/// Fires one chaos point on w, if a chaos policy is installed. One
+/// load+branch when no policy is active; compiles to nothing when stress
+/// hooks are compiled out (CILKPP_STRESS_ENABLED=0).
+inline void chaos_perturb(worker* w, chaos_point p) {
+#if CILKPP_STRESS_ENABLED
+  if (chaos_policy* c = w->chaos.load(std::memory_order_acquire)) {
+    c->perturb(w->id, p);
+  }
+#else
+  (void)w; (void)p;
 #endif
 }
 
@@ -321,7 +395,13 @@ class scheduler {
 
   unsigned num_workers() const { return static_cast<unsigned>(workers_.size()); }
 
-  /// Aggregate statistics since construction / last reset. Call while idle.
+  /// Aggregate statistics since construction / last reset.
+  ///
+  /// Quiescence requirement: snapshots and resets are unsynchronized with
+  /// the workers' relaxed counter updates, so calling any of these while a
+  /// run() is in flight would tear multi-counter invariants (e.g. a reset
+  /// could split a steal between steals and steals_by_victim). All three
+  /// assert that no run is active; call them only between runs.
   worker_stats stats() const;
   std::vector<worker_stats> per_worker_stats() const;
   void reset_stats();
@@ -332,6 +412,16 @@ class scheduler {
   /// out; use trace::session rather than calling these directly.
   void install_trace(const std::vector<trace::event_ring*>& rings);
   void remove_trace();
+
+  /// Chaos hooks (src/stress): installs a schedule-perturbation policy on
+  /// every worker / removes it. May only be called while no run() is in
+  /// flight. The policy must stay valid until the scheduler is destroyed
+  /// or a later run() completes: remove_chaos only stops *new* decisions —
+  /// a worker that loaded the pointer during the previous run's tail may
+  /// still be completing one last perturbation call. No-ops when stress
+  /// hooks are compiled out (CILKPP_STRESS=OFF).
+  void install_chaos(chaos_policy* policy);
+  void remove_chaos();
 
  private:
   friend class context;

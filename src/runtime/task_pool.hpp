@@ -10,9 +10,20 @@
 // Four size classes cover every spawn_task<Fn> the library generates
 // (lambda captures are small by construction — contexts are passed by
 // reference); larger requests fall back to operator new.
+//
+// The pool keeps per-class alloc/free/reuse counters (relaxed atomics: each
+// thread writes only its own lists' counters; task_pool_totals() aggregates
+// across threads, including threads that have already exited). The global
+// balance — allocs == frees once a computation is quiescent — is the leak
+// oracle used by tests/task_pool_test.cpp and the stress harness: every
+// spawn allocates exactly one block and every executed task frees it, so an
+// imbalance means a leaked or double-freed task.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <atomic>
+#include <mutex>
 #include <new>
 #include <vector>
 
@@ -24,6 +35,8 @@ inline constexpr std::size_t class_sizes[] = {64, 128, 256, 512};
 inline constexpr std::size_t num_classes = 4;
 /// Cap per class per thread: bounds pool memory at ~120 KiB per worker.
 inline constexpr std::size_t max_cached = 128;
+/// Counter row for the heap-fallback (oversized) path.
+inline constexpr std::size_t oversize_row = num_classes;
 
 inline int size_class(std::size_t size) {
   for (std::size_t c = 0; c < num_classes; ++c) {
@@ -32,13 +45,50 @@ inline int size_class(std::size_t size) {
   return -1;
 }
 
+struct free_lists;
+
+/// Registry of every thread's free lists, so totals can be aggregated
+/// process-wide. A thread registers on first pool use and folds its
+/// counters into `retired` when it exits.
+struct pool_registry {
+  std::mutex mu;
+  std::vector<free_lists*> threads;
+  std::uint64_t retired_allocs[num_classes + 1] = {};
+  std::uint64_t retired_frees[num_classes + 1] = {};
+  std::uint64_t retired_reused[num_classes + 1] = {};
+};
+
+inline pool_registry& registry() {
+  static pool_registry r;
+  return r;
+}
+
 struct free_lists {
   std::vector<void*> buckets[num_classes];
+  // Written only by the owning thread, read by task_pool_totals(); the
+  // +1 row counts the oversized heap-fallback path.
+  std::atomic<std::uint64_t> allocs[num_classes + 1] = {};
+  std::atomic<std::uint64_t> frees[num_classes + 1] = {};
+  std::atomic<std::uint64_t> reused[num_classes + 1] = {};
+
+  free_lists() {
+    pool_registry& reg = registry();
+    std::lock_guard lock(reg.mu);
+    reg.threads.push_back(this);
+  }
 
   ~free_lists() {
     for (auto& bucket : buckets) {
       for (void* p : bucket) ::operator delete(p);
     }
+    pool_registry& reg = registry();
+    std::lock_guard lock(reg.mu);
+    for (std::size_t c = 0; c <= num_classes; ++c) {
+      reg.retired_allocs[c] += allocs[c].load(std::memory_order_relaxed);
+      reg.retired_frees[c] += frees[c].load(std::memory_order_relaxed);
+      reg.retired_reused[c] += reused[c].load(std::memory_order_relaxed);
+    }
+    std::erase(reg.threads, this);
   }
 };
 
@@ -47,14 +97,25 @@ inline free_lists& local_lists() {
   return lists;
 }
 
+inline void bump(std::atomic<std::uint64_t>& counter) {
+  counter.store(counter.load(std::memory_order_relaxed) + 1,
+                std::memory_order_relaxed);
+}
+
 }  // namespace pool_detail
 
 /// Allocates a task block of at least `size` bytes.
 inline void* task_allocate(std::size_t size) {
   const int c = pool_detail::size_class(size);
-  if (c < 0) return ::operator new(size);
-  auto& bucket = pool_detail::local_lists().buckets[c];
+  auto& lists = pool_detail::local_lists();
+  if (c < 0) {
+    pool_detail::bump(lists.allocs[pool_detail::oversize_row]);
+    return ::operator new(size);
+  }
+  pool_detail::bump(lists.allocs[static_cast<std::size_t>(c)]);
+  auto& bucket = lists.buckets[c];
   if (!bucket.empty()) {
+    pool_detail::bump(lists.reused[static_cast<std::size_t>(c)]);
     void* p = bucket.back();
     bucket.pop_back();
     return p;
@@ -65,16 +126,81 @@ inline void* task_allocate(std::size_t size) {
 /// Returns a block obtained from task_allocate with the same `size`.
 inline void task_deallocate(void* p, std::size_t size) noexcept {
   const int c = pool_detail::size_class(size);
+  auto& lists = pool_detail::local_lists();
   if (c < 0) {
+    pool_detail::bump(lists.frees[pool_detail::oversize_row]);
     ::operator delete(p);
     return;
   }
-  auto& bucket = pool_detail::local_lists().buckets[c];
+  pool_detail::bump(lists.frees[static_cast<std::size_t>(c)]);
+  auto& bucket = lists.buckets[c];
   if (bucket.size() >= pool_detail::max_cached) {
     ::operator delete(p);
     return;
   }
   bucket.push_back(p);
+}
+
+/// Aggregated counters for one size class (or the oversize fallback).
+struct task_pool_class_stats {
+  std::size_t block_size = 0;  ///< 0 for the oversize heap-fallback row
+  std::uint64_t allocs = 0;
+  std::uint64_t frees = 0;
+  std::uint64_t reused = 0;  ///< allocations served from a free list
+  /// Blocks allocated but not yet freed. Meaningful only process-wide:
+  /// blocks migrate between threads, so a single thread's figure may be
+  /// negative.
+  std::int64_t live() const {
+    return static_cast<std::int64_t>(allocs) - static_cast<std::int64_t>(frees);
+  }
+};
+
+/// Process-wide task-pool statistics: live threads plus exited ones.
+struct task_pool_stats {
+  task_pool_class_stats classes[pool_detail::num_classes + 1];
+
+  std::uint64_t total_allocs() const {
+    std::uint64_t n = 0;
+    for (const auto& c : classes) n += c.allocs;
+    return n;
+  }
+  std::uint64_t total_frees() const {
+    std::uint64_t n = 0;
+    for (const auto& c : classes) n += c.frees;
+    return n;
+  }
+  std::int64_t live() const {
+    return static_cast<std::int64_t>(total_allocs()) -
+           static_cast<std::int64_t>(total_frees());
+  }
+  /// Leak-balance oracle: true iff every allocated block has been freed.
+  /// Only meaningful while no computation is in flight (a worker between
+  /// t->execute() and destroy_task holds one live block).
+  bool balanced() const { return live() == 0; }
+};
+
+/// Snapshot of the pool counters across all threads that ever used the
+/// pool. Counters are monotone, so concurrent use skews a snapshot but
+/// never corrupts it; for the balance oracle, take it while quiescent.
+inline task_pool_stats task_pool_totals() {
+  using namespace pool_detail;
+  task_pool_stats out;
+  for (std::size_t c = 0; c < num_classes; ++c) {
+    out.classes[c].block_size = class_sizes[c];
+  }
+  pool_registry& reg = registry();
+  std::lock_guard lock(reg.mu);
+  for (std::size_t c = 0; c <= num_classes; ++c) {
+    out.classes[c].allocs = reg.retired_allocs[c];
+    out.classes[c].frees = reg.retired_frees[c];
+    out.classes[c].reused = reg.retired_reused[c];
+    for (const free_lists* t : reg.threads) {
+      out.classes[c].allocs += t->allocs[c].load(std::memory_order_relaxed);
+      out.classes[c].frees += t->frees[c].load(std::memory_order_relaxed);
+      out.classes[c].reused += t->reused[c].load(std::memory_order_relaxed);
+    }
+  }
+  return out;
 }
 
 }  // namespace cilkpp::rt

@@ -1,0 +1,154 @@
+#include "stress/chaos.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+namespace cilkpp::stress {
+
+namespace {
+
+/// Single-writer counter bump: each lane is touched only by its worker, so
+/// a load+store (no lock prefix) is race-free; readers see a monotone
+/// value that is exact once the run is quiescent.
+inline void bump(std::atomic<std::uint64_t>& c) {
+  c.store(c.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+}
+
+inline std::uint32_t draw16(xoshiro256& rng) {
+  return static_cast<std::uint32_t>(rng() & 0xffff);
+}
+
+}  // namespace
+
+chaos_params chaos_params::from_seed(std::uint64_t seed) {
+  chaos_params p;
+  if (seed == 0) return p;  // the null policy
+  std::uint64_t s = seed;
+  // Ranges chosen so every seed is adversarial but bounded: delays stay in
+  // the microsecond regime (a tier-1 fuzz run must finish in seconds) and
+  // every probability leaves the scheduler a path to progress.
+  p.yield_chance = static_cast<std::uint32_t>(splitmix64(s) % 13108);       // 0–20%
+  p.sleep_chance = static_cast<std::uint32_t>(splitmix64(s) % 1967);        // 0–3%
+  p.long_sleep_chance = static_cast<std::uint32_t>(splitmix64(s) % 328);    // 0–0.5%
+  p.prefer_steal_chance = static_cast<std::uint32_t>(splitmix64(s) % 32768);// 0–50%
+  p.victim_override_chance =
+      static_cast<std::uint32_t>(splitmix64(s) % 52429);                    // 0–80%
+  p.mode = static_cast<victim_mode>(splitmix64(s) % 4);
+  p.starved_workers = static_cast<unsigned>(splitmix64(s) % 3);             // 0–2
+  return p;
+}
+
+std::string chaos_params::describe() const {
+  const char* mode_name = "uniform";
+  switch (mode) {
+    case victim_mode::uniform: mode_name = "uniform"; break;
+    case victim_mode::lowest: mode_name = "lowest"; break;
+    case victim_mode::highest: mode_name = "highest"; break;
+    case victim_mode::round_robin: mode_name = "round-robin"; break;
+  }
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "yield=%.1f%% sleep=%.2f%% long-sleep=%.2f%% "
+                "force-steal=%.1f%% victim=%s/%.1f%% starved=%u",
+                yield_chance * 100.0 / 65536, sleep_chance * 100.0 / 65536,
+                long_sleep_chance * 100.0 / 65536,
+                prefer_steal_chance * 100.0 / 65536, mode_name,
+                victim_override_chance * 100.0 / 65536, starved_workers);
+  return buf;
+}
+
+seeded_chaos::seeded_chaos(std::uint64_t seed, unsigned workers)
+    : seeded_chaos(chaos_params::from_seed(seed), seed, workers) {}
+
+seeded_chaos::seeded_chaos(const chaos_params& params, std::uint64_t seed,
+                           unsigned workers)
+    : seed_(seed), params_(params), lanes_(workers == 0 ? 1 : workers) {
+  std::uint64_t s = seed ^ 0xc2b2ae3d27d4eb4fULL;
+  for (std::size_t w = 0; w < lanes_.size(); ++w) {
+    lanes_[w].rng = xoshiro256(splitmix64(s) ^ w);
+    const bool starved = w != 0 && w <= params_.starved_workers;
+    const std::uint64_t chance =
+        starved ? std::uint64_t{params_.sleep_chance} * 8 : params_.sleep_chance;
+    lanes_[w].sleep_chance =
+        static_cast<std::uint32_t>(chance > 0xffff ? 0xffff : chance);
+  }
+}
+
+void seeded_chaos::perturb(unsigned worker_id, rt::chaos_point /*p*/) {
+  lane& l = lanes_[worker_id];
+  bump(l.points);
+  const std::uint32_t u = draw16(l.rng);
+  // One draw, cumulative thresholds: sleep beats long-sleep beats yield.
+  std::uint32_t edge = l.sleep_chance;
+  if (u < edge) {
+    bump(l.sleeps);
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(1 + (l.rng() % 20)));
+    return;
+  }
+  edge += params_.long_sleep_chance;
+  if (u < edge) {
+    bump(l.sleeps);
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+    return;
+  }
+  edge += params_.yield_chance;
+  if (u < edge) {
+    bump(l.yields);
+    std::this_thread::yield();
+  }
+}
+
+bool seeded_chaos::prefer_steal(unsigned worker_id) {
+  lane& l = lanes_[worker_id];
+  if (draw16(l.rng) >= params_.prefer_steal_chance) return false;
+  bump(l.forced);
+  return true;
+}
+
+std::size_t seeded_chaos::pick_victim(unsigned worker_id, std::size_t nworkers) {
+  lane& l = lanes_[worker_id];
+  if (params_.mode == chaos_params::victim_mode::uniform ||
+      draw16(l.rng) >= params_.victim_override_chance) {
+    return nworkers;  // keep the runtime's own uniform draw
+  }
+  std::size_t victim = nworkers;
+  switch (params_.mode) {
+    case chaos_params::victim_mode::uniform:
+      break;
+    case chaos_params::victim_mode::lowest:
+      victim = 0;
+      break;
+    case chaos_params::victim_mode::highest:
+      victim = nworkers - 1;
+      break;
+    case chaos_params::victim_mode::round_robin:
+      victim = l.next_victim++ % nworkers;
+      break;
+  }
+  if (victim >= nworkers || victim == worker_id) return nworkers;
+  bump(l.overrides);
+  return victim;
+}
+
+chaos_stats seeded_chaos::stats() const {
+  chaos_stats s;
+  for (const lane& l : lanes_) {
+    s.points += l.points.load(std::memory_order_relaxed);
+    s.yields += l.yields.load(std::memory_order_relaxed);
+    s.sleeps += l.sleeps.load(std::memory_order_relaxed);
+    s.forced_steals += l.forced.load(std::memory_order_relaxed);
+    s.victim_overrides += l.overrides.load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+std::string seeded_chaos::describe() const {
+  char head[48];
+  std::snprintf(head, sizeof(head), "chaos seed=%llu: ",
+                static_cast<unsigned long long>(seed_));
+  return head + params_.describe();
+}
+
+}  // namespace cilkpp::stress

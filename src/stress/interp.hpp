@@ -1,0 +1,181 @@
+// Engine-generic interpreter for generated stress programs.
+//
+// interp() walks a stress::program against ANY engine context — the
+// threaded runtime (rt::context), serial elision (rt::serial_context), the
+// dag recorder (dag::recorder_context), or a cilkscreen engine
+// (screen::basic_screen_context<D>) — through exactly the surface real
+// workloads use: spawn / sync / call / account, ADL parallel_for, reducer
+// views, and (where the engine supports it) exceptions delivered at sync.
+// Every leaf's contribution is a pure function of (program seed, node id,
+// lane), so two engines that implement the model correctly MUST produce
+// identical run_results; the oracle (stress/oracle.hpp) checks that.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dag/recorder.hpp"
+#include "cilkscreen/screen_context.hpp"
+#include "hyper/reducers.hpp"
+#include "runtime/parallel_for.hpp"
+#include "runtime/scheduler.hpp"
+#include "runtime/serial.hpp"
+#include "stress/program.hpp"
+
+namespace cilkpp::stress {
+
+/// The exception generated throw_last nodes raise.
+struct stress_error {
+  std::uint32_t node_id = 0;
+};
+
+/// Engines that deliver a spawned child's exception at the parent's sync
+/// (the runtime) or inline at the spawn (elision — the serial semantics the
+/// runtime must match). The recorder and the cilkscreen engines do NOT
+/// tolerate exceptions unwinding through their begin/end brackets, so under
+/// them throw_last nodes run the identical traversal and record the
+/// identical mark without actually throwing — keeping the recorded dag and
+/// the SP relationships aligned with what the other engines executed.
+template <typename Ctx>
+inline constexpr bool propagates_exceptions = false;
+template <>
+inline constexpr bool propagates_exceptions<rt::context> = true;
+template <>
+inline constexpr bool propagates_exceptions<rt::serial_context> = true;
+
+/// Engines with source-level memory instrumentation (the cilkscreen
+/// contexts): leaf stores are reported so the detector certifies the
+/// generated program race-free.
+template <typename Ctx>
+concept notes_memory = requires(Ctx& ctx, const void* p) {
+  ctx.note_write(p, std::size_t{}, (const char*)nullptr);
+};
+
+template <typename Ctx, typename T>
+inline void noted_store(Ctx& ctx, T& dst, T value) {
+  if constexpr (notes_memory<Ctx>) {
+    ctx.note_write(&dst, sizeof(T), "stress-leaf");
+  }
+  dst = value;
+}
+
+/// Output state of one interpretation. Sized for a specific program; the
+/// reducers must outlive the scheduler::run() that updates them (their
+/// views live in frame slots until the root absorbs them).
+struct run_state {
+  explicit run_state(const program& p)
+      : slots(p.num_slots, 0), cells(p.num_cells, 0), marks(p.num_throws, 0) {}
+
+  std::vector<std::uint64_t> slots;  ///< one per work leaf
+  std::vector<std::uint64_t> cells;  ///< one per pfor iteration
+  std::vector<std::uint64_t> marks;  ///< one per throw_last (catch receipt)
+  hyper::reducer_opadd<std::uint64_t> radd;
+  hyper::reducer_vector_append<std::uint32_t> rlist;
+};
+
+/// What a run produced, reduced to comparable form.
+struct run_result {
+  std::uint64_t checksum = 0;  ///< order-sensitive fold of all outputs
+  std::uint64_t radd = 0;
+  std::vector<std::uint32_t> rlist;
+
+  bool operator==(const run_result&) const = default;
+};
+
+template <typename Ctx>
+void interp(Ctx& ctx, const program& p, const prog_node& n, run_state& st) {
+  switch (n.kind) {
+    case op::seq:
+      for (const prog_node& c : n.children) interp(ctx, p, c, st);
+      break;
+
+    case op::spawn_block: {
+      for (const prog_node& c : n.children) {
+        // Capture the element by pointer-by-value: the runtime defers the
+        // child past this loop iteration, so a by-reference loop variable
+        // would dangle. p and st outlive the whole run.
+        const prog_node* cp = &c;
+        ctx.spawn([&p, &st, cp](Ctx& child) { interp(child, p, *cp, st); });
+      }
+      ctx.sync();
+      break;
+    }
+
+    case op::call_block:
+      ctx.call([&](Ctx& child) { interp(child, p, n.children.front(), st); });
+      break;
+
+    case op::sync_extra:
+      ctx.sync();
+      break;
+
+    case op::work: {
+      ctx.account(n.cost);
+      noted_store(ctx, st.slots[n.slot], contrib(p.seed, n.id));
+      if (n.radd) st.radd.view(ctx) += contrib(p.seed, n.id, 1);
+      if (n.rlist) st.rlist.view(ctx).push_back(n.id);
+      break;
+    }
+
+    case op::pfor: {
+      const prog_node* np = &n;
+      parallel_for(
+          ctx, std::uint32_t{0}, n.iters,
+          [&p, &st, np](Ctx& leaf, std::uint32_t i) {
+            leaf.account(np->cost);
+            noted_store(leaf, st.cells[np->cell_base + i],
+                        contrib(p.seed, np->id, i + 1));
+            if (np->radd) {
+              st.radd.view(leaf) += contrib(p.seed, np->id, i + 0x10001);
+            }
+          },
+          n.grain);
+      break;
+    }
+
+    case op::throw_last: {
+      std::uint64_t mark = 0;
+      const std::uint32_t last = static_cast<std::uint32_t>(n.children.size()) - 1;
+      // Under elision the last child's throw propagates out of spawn()
+      // itself (spawn runs the child inline); under the runtime it is
+      // delivered by sync(). One try block covers both delivery points.
+      try {
+        for (std::uint32_t i = 0; i <= last; ++i) {
+          const prog_node* cp = &n.children[i];
+          const bool thrower = i == last;
+          ctx.spawn([&p, &st, cp, thrower](Ctx& child) {
+            interp(child, p, *cp, st);
+            if constexpr (propagates_exceptions<Ctx>) {
+              if (thrower) throw stress_error{cp->id};
+            }
+          });
+        }
+        ctx.sync();
+        if constexpr (!propagates_exceptions<Ctx>) {
+          mark = contrib(p.seed, n.id, 7);  // the mark catching would set
+        }
+      } catch (const stress_error& e) {
+        if (e.node_id == n.children[last].id) mark = contrib(p.seed, n.id, 7);
+      }
+      noted_store(ctx, st.marks[n.throw_index], mark);
+      break;
+    }
+  }
+}
+
+/// Order-sensitive digest of everything the run produced.
+inline run_result finish(const program& p, run_state& st) {
+  run_result r;
+  r.radd = st.radd.value();
+  r.rlist = st.rlist.value();
+  std::uint64_t h = p.seed;
+  for (std::uint64_t v : st.slots) h = hash_combine(h, v);
+  for (std::uint64_t v : st.cells) h = hash_combine(h, v);
+  for (std::uint64_t v : st.marks) h = hash_combine(h, v);
+  h = hash_combine(h, r.radd);
+  for (std::uint32_t v : r.rlist) h = hash_combine(h, v);
+  r.checksum = h;
+  return r;
+}
+
+}  // namespace cilkpp::stress

@@ -1,0 +1,204 @@
+#include "stress/program.hpp"
+
+#include <cstdio>
+
+namespace cilkpp::stress {
+
+namespace {
+
+/// Frames deeper than this stop generating nested parallelism: bounds the
+/// host stack under every engine (elision runs the whole tree inline).
+constexpr unsigned max_frame_depth = 5;
+
+struct gen_state {
+  xoshiro256 rng;
+  program* p;
+  unsigned budget = 0;  ///< nodes still allowed
+  std::uint32_t next_id = 0;
+};
+
+void note_depth(gen_state& g, unsigned depth) {
+  if (depth > g.p->max_depth) g.p->max_depth = depth;
+}
+
+void note_width(gen_state& g, std::uint32_t width) {
+  if (width > g.p->max_spawn_width) g.p->max_spawn_width = width;
+}
+
+prog_node make_work(gen_state& g) {
+  prog_node n;
+  n.kind = op::work;
+  n.id = g.next_id++;
+  n.cost = 1 + g.rng.below(50);
+  n.slot = g.p->num_slots++;
+  n.radd = g.rng.below(4) == 0;
+  n.rlist = g.rng.below(5) == 0;
+  if (n.radd) g.p->uses_radd = true;
+  if (n.rlist) g.p->uses_rlist = true;
+  ++g.p->num_work;
+  g.p->expected_work += n.cost;
+  return n;
+}
+
+/// Deque entries the lazy-splitting parallel_for spine pushes before its
+/// sync: one per halving of the remaining range (parallel_for_impl).
+std::uint32_t pfor_spine_width(std::uint32_t iters, std::uint32_t grain) {
+  std::uint32_t width = 0;
+  std::uint32_t range = iters;
+  while (range > grain) {
+    ++width;
+    range -= range / 2;
+  }
+  return width;
+}
+
+prog_node make_pfor(gen_state& g, unsigned depth) {
+  prog_node n;
+  n.kind = op::pfor;
+  n.id = g.next_id++;
+  n.iters = 1 + static_cast<std::uint32_t>(g.rng.below(24));
+  // Grain mix deliberately includes grain > iters (must run serially) and
+  // grain 1 (maximum task churn).
+  switch (g.rng.below(4)) {
+    case 0: n.grain = 1; break;
+    case 1: n.grain = 2; break;
+    case 2: n.grain = 1 + static_cast<std::uint32_t>(g.rng.below(8)); break;
+    default: n.grain = n.iters + 3; break;
+  }
+  n.cost = 1 + g.rng.below(8);
+  n.cell_base = g.p->num_cells;
+  n.radd = g.rng.below(4) == 0;
+  if (n.radd) g.p->uses_radd = true;
+  g.p->num_cells += n.iters;
+  ++g.p->num_pfor;
+  g.p->expected_work += std::uint64_t{n.iters} * n.cost;
+  const std::uint32_t spine = pfor_spine_width(n.iters, n.grain);
+  note_width(g, spine == 0 ? 1 : spine);
+  // The loop's call frame plus the splitter recursion below it.
+  note_depth(g, depth + 1 + spine);
+  return n;
+}
+
+prog_node gen_tree(gen_state& g, unsigned depth);
+
+void gen_children(gen_state& g, prog_node& n, unsigned count, unsigned depth) {
+  n.children.reserve(count);
+  for (unsigned i = 0; i < count; ++i) n.children.push_back(gen_tree(g, depth));
+}
+
+prog_node gen_tree(gen_state& g, unsigned depth) {
+  if (g.budget > 0) --g.budget;
+  const bool leaf_only = g.budget == 0 || depth >= max_frame_depth;
+  const std::uint64_t pick = g.rng.below(leaf_only ? 30 : 100);
+  if (pick < 22) return make_work(g);
+  if (pick < 30) return make_pfor(g, depth);
+
+  prog_node n;
+  n.id = g.next_id++;
+  if (pick < 45) {  // seq: stays in the current frame
+    n.kind = op::seq;
+    gen_children(g, n, 2 + static_cast<unsigned>(g.rng.below(3)), depth);
+  } else if (pick < 70) {  // spawn_block
+    n.kind = op::spawn_block;
+    const unsigned width = 2 + static_cast<unsigned>(g.rng.below(3));
+    ++g.p->num_spawn_blocks;
+    note_width(g, width);
+    gen_children(g, n, width, depth + 1);
+  } else if (pick < 85) {  // call_block
+    n.kind = op::call_block;
+    gen_children(g, n, 1, depth + 1);
+  } else if (pick < 92) {  // sync_extra
+    n.kind = op::sync_extra;
+  } else {  // throw_last
+    n.kind = op::throw_last;
+    n.throw_index = g.p->num_throws++;
+    const unsigned width = 2 + static_cast<unsigned>(g.rng.below(2));
+    note_width(g, width);
+    gen_children(g, n, width, depth + 1);
+  }
+  note_depth(g, depth);
+  return n;
+}
+
+/// Serial-order walk mirroring the interpreter, to precompute the list
+/// reducer's expected (deterministic) value.
+void walk_rlist(const prog_node& n, std::vector<std::uint32_t>& out) {
+  if (n.kind == op::work && n.rlist) out.push_back(n.id);
+  for (const prog_node& c : n.children) walk_rlist(c, out);
+}
+
+void describe_node(const prog_node& n, unsigned indent, std::string& out) {
+  out.append(indent * 2, ' ');
+  char buf[160];
+  switch (n.kind) {
+    case op::seq:
+      std::snprintf(buf, sizeof(buf), "seq#%u\n", n.id);
+      break;
+    case op::spawn_block:
+      std::snprintf(buf, sizeof(buf), "spawn#%u width=%zu\n", n.id,
+                    n.children.size());
+      break;
+    case op::call_block:
+      std::snprintf(buf, sizeof(buf), "call#%u\n", n.id);
+      break;
+    case op::sync_extra:
+      std::snprintf(buf, sizeof(buf), "sync#%u\n", n.id);
+      break;
+    case op::work:
+      std::snprintf(buf, sizeof(buf), "work#%u cost=%llu slot=%u%s%s\n", n.id,
+                    static_cast<unsigned long long>(n.cost), n.slot,
+                    n.radd ? " +radd" : "", n.rlist ? " +rlist" : "");
+      break;
+    case op::pfor:
+      std::snprintf(buf, sizeof(buf),
+                    "pfor#%u iters=%u grain=%u cost=%llu cells@%u%s\n", n.id,
+                    n.iters, n.grain, static_cast<unsigned long long>(n.cost),
+                    n.cell_base, n.radd ? " +radd" : "");
+      break;
+    case op::throw_last:
+      std::snprintf(buf, sizeof(buf), "throw#%u width=%zu mark=%u\n", n.id,
+                    n.children.size(), n.throw_index);
+      break;
+  }
+  out += buf;
+  for (const prog_node& c : n.children) describe_node(c, indent + 1, out);
+}
+
+}  // namespace
+
+program generate_program(std::uint64_t seed, unsigned size_budget) {
+  program p;
+  p.seed = seed;
+  p.size = size_budget;
+  gen_state g{xoshiro256(splitmix64(seed) ^ 0x5bd1e995c11c2009ULL), &p,
+              size_budget == 0 ? 1 : size_budget, 0};
+
+  p.root.kind = op::seq;
+  p.root.id = g.next_id++;
+  const unsigned top = 2 + static_cast<unsigned>(g.rng.below(3));
+  for (unsigned i = 0; i < top && (i == 0 || g.budget > 0); ++i) {
+    p.root.children.push_back(gen_tree(g, 0));
+  }
+  if (p.num_work == 0) p.root.children.push_back(make_work(g));
+  walk_rlist(p.root, p.expected_rlist);
+  if (p.max_spawn_width == 0) p.max_spawn_width = 1;
+  return p;
+}
+
+std::string program::describe() const {
+  char head[224];
+  std::snprintf(head, sizeof(head),
+                "program seed=%llu size=%u: work=%u pfor=%u cells=%u "
+                "throws=%u spawn-blocks=%u width=%u depth=%u%s%s "
+                "expected-work=%llu\n",
+                static_cast<unsigned long long>(seed), size, num_work,
+                num_pfor, num_cells, num_throws, num_spawn_blocks,
+                max_spawn_width, max_depth, uses_radd ? " +radd" : "",
+                uses_rlist ? " +rlist" : "",
+                static_cast<unsigned long long>(expected_work));
+  std::string out = head;
+  describe_node(root, 1, out);
+  return out;
+}
+
+}  // namespace cilkpp::stress

@@ -1,0 +1,103 @@
+// Random structured Cilk programs for differential schedule-fuzzing.
+//
+// A program is a little AST over the engine surface (spawn / sync / call /
+// parallel_for / account / reducers / exceptions), generated from a single
+// seed. The SAME program value is then interpreted (stress/interp.hpp)
+// against every engine — the threaded runtime under chaos, serial elision,
+// the dag recorder, and the cilkscreen detector — and the oracle
+// (stress/oracle.hpp) compares what they produced. Programs are race-free
+// by construction: every leaf writes its own slot/cell and all shared
+// accumulation goes through reducers, so any cilkscreen report or any
+// cross-engine result difference is a bug, not fuzz noise.
+//
+// Generation is pure: generate_program(seed, size) depends on nothing but
+// its arguments, so a failure report's seeds reproduce the exact program.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace cilkpp::stress {
+
+enum class op : std::uint8_t {
+  seq,          ///< run children in order within the current frame
+  spawn_block,  ///< spawn every child, then sync
+  call_block,   ///< ctx.call(...) the single child in its own frame
+  sync_extra,   ///< a redundant explicit sync (must be a no-op)
+  work,         ///< leaf: account cost, write own slot, maybe reducers
+  pfor,         ///< leaf: parallel_for over [0, iters), one cell per index
+  throw_last,   ///< spawn_block whose last child throws stress_error after
+                ///  its subtree; caught right after the block's sync
+};
+
+struct prog_node {
+  op kind = op::work;
+  std::uint32_t id = 0;         ///< unique node id; salts all contributions
+  std::uint64_t cost = 1;       ///< accounted units (work: total; pfor: per iter)
+  std::uint32_t slot = 0;       ///< work: private slot index
+  std::uint32_t iters = 0;      ///< pfor trip count
+  std::uint32_t grain = 1;      ///< pfor grain (may exceed iters)
+  std::uint32_t cell_base = 0;  ///< pfor: first private cell index
+  std::uint32_t throw_index = 0;  ///< throw_last: private mark index
+  bool radd = false;   ///< leaf also adds into the opadd reducer
+  bool rlist = false;  ///< work leaf also appends its id to the list reducer
+  std::vector<prog_node> children;
+};
+
+struct program {
+  std::uint64_t seed = 0;
+  unsigned size = 0;  ///< the size budget it was generated with
+  prog_node root;
+
+  std::uint32_t num_slots = 0;   ///< one per work leaf
+  std::uint32_t num_cells = 0;   ///< total pfor iterations
+  std::uint32_t num_throws = 0;  ///< throw_last nodes
+  std::uint32_t num_work = 0;
+  std::uint32_t num_pfor = 0;
+  std::uint32_t num_spawn_blocks = 0;
+  bool uses_radd = false;
+  bool uses_rlist = false;
+
+  /// Σ accounted units over all leaves — what serial elision must report
+  /// exactly, and a lower bound on the recorded dag's work.
+  std::uint64_t expected_work = 0;
+  /// The list reducer's value in serial execution order — what EVERY
+  /// engine must produce (Sec. 5's determinism guarantee).
+  std::vector<std::uint32_t> expected_rlist;
+
+  /// Most children any single frame has outstanding before a sync: spawn
+  /// blocks spawn children.size() tasks; a pfor spine frame pushes one
+  /// task per halving, ~log2(iters/grain). Bounds the busy-leaves deque
+  /// check: peak_deque ≤ max_spawn_width · peak_live_frames per worker.
+  std::uint32_t max_spawn_width = 0;
+  /// Deepest frame nesting (spawn/call blocks + the pfor splitter depth).
+  std::uint32_t max_depth = 0;
+
+  /// Printable form, for failure reports and manual shrinking.
+  std::string describe() const;
+};
+
+/// Deterministically generates a random structured program of roughly
+/// `size_budget` nodes (≥ 1 work leaf always).
+program generate_program(std::uint64_t seed, unsigned size_budget);
+
+/// Deterministic 64-bit contribution of (program seed, node, lane): the
+/// value a leaf writes into its slot/cell/reducer. Pure function of its
+/// arguments, so every engine computes identical contributions.
+inline std::uint64_t contrib(std::uint64_t seed, std::uint64_t a,
+                             std::uint64_t b = 0) {
+  std::uint64_t s = seed ^ (a * 0x9e3779b97f4a7c15ULL) ^
+                    (b * 0xc2b2ae3d27d4eb4fULL);
+  return splitmix64(s);
+}
+
+/// Order-sensitive fold used for run fingerprints.
+inline std::uint64_t hash_combine(std::uint64_t h, std::uint64_t v) {
+  std::uint64_t s = h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+  return splitmix64(s);
+}
+
+}  // namespace cilkpp::stress

@@ -268,6 +268,61 @@ TEST(ParallelForBasics, FillsArrayLikeFig1MainLoop) {
   for (int i = 0; i < n; ++i) EXPECT_DOUBLE_EQ(a[i], i * 0.5);
 }
 
+TEST(ParallelForEdges, GrainLargerThanRangeRunsSeriallyWithoutSpawns) {
+  // The splitter only spawns while more than `grain` iterations remain, so
+  // a grain exceeding the trip count must degenerate to a plain loop.
+  scheduler sched(2);
+  sched.reset_stats();
+  std::vector<int> hits(10, 0);
+  sched.run([&](context& ctx) {
+    parallel_for(ctx, 0, 10, [&](int i) { hits[i]++; }, 1000);
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+  EXPECT_EQ(sched.stats().spawns, 0u);
+}
+
+TEST(ParallelForEdges, SingleElementWithHugeGrain) {
+  scheduler sched(2);
+  sched.reset_stats();
+  int seen = -1;
+  sched.run([&](context& ctx) {
+    parallel_for(ctx, 41, 42, [&](int i) { seen = i; }, 1u << 30);
+  });
+  EXPECT_EQ(seen, 41);
+  EXPECT_EQ(sched.stats().spawns, 0u);
+}
+
+TEST(ParallelForEdges, EmptyRangeNeverInvokesBodyOrSpawns) {
+  scheduler sched(2);
+  sched.reset_stats();
+  int count = 0;
+  sched.run([&](context& ctx) {
+    parallel_for(ctx, 0, 0, [&](int) { ++count; }, 4);
+    parallel_for(ctx, 9, 3, [&](int) { ++count; }, 4);  // reversed range
+  });
+  EXPECT_EQ(count, 0);
+  EXPECT_EQ(sched.stats().spawns, 0u);
+}
+
+TEST(ParallelForEdges, BodyThrowsOnSerialGrainPath) {
+  // grain > range: the throw unwinds through the loop's call frame, not a
+  // spawned task, exercising the other exception delivery path.
+  scheduler sched(2);
+  int executed = 0;
+  EXPECT_THROW(
+      sched.run([&](context& ctx) {
+        parallel_for(ctx, 0, 8,
+                     [&](int i) {
+                       ++executed;
+                       if (i == 3) throw std::runtime_error("serial-path");
+                     },
+                     64);
+      }),
+      std::runtime_error);
+  EXPECT_EQ(executed, 4);  // iterations run in order up to the throw
+  EXPECT_EQ(sched.run([](context&) { return 3; }), 3);  // still usable
+}
+
 TEST(ParallelForBasics, DefaultGrainRule) {
   EXPECT_EQ(default_grain(100, 4), 3u);       // 100/32
   EXPECT_EQ(default_grain(10, 4), 1u);        // never zero

@@ -1,0 +1,260 @@
+// cilk::stress — seeded schedule fuzzing with differential oracles.
+//
+// Tier-1 checks of the stress subsystem itself (generator/chaos
+// determinism, the failure-report contract) plus the acceptance sweep: 200
+// generated programs, every one run through serial elision, the dag
+// recorder + cilkview + sim::machine, cilkscreen, and the threaded runtime
+// under 8 rotated chaos seeds — every oracle checked on every case.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+#include "runtime/scheduler.hpp"
+#include "stress/chaos.hpp"
+#include "stress/interp.hpp"
+#include "stress/oracle.hpp"
+#include "stress/program.hpp"
+
+namespace {
+
+using namespace cilkpp;
+using namespace cilkpp::stress;
+
+// --- Program generator. ---
+
+TEST(Generator, DeterministicAcrossCalls) {
+  for (std::uint64_t seed : {1ULL, 7ULL, 42ULL, 999ULL, 123456789ULL}) {
+    const program a = generate_program(seed, 14);
+    const program b = generate_program(seed, 14);
+    EXPECT_EQ(a.describe(), b.describe());
+    EXPECT_EQ(a.expected_work, b.expected_work);
+    EXPECT_EQ(a.expected_rlist, b.expected_rlist);
+  }
+}
+
+TEST(Generator, CoversEveryConstruct) {
+  bool pfor = false, throws = false, spawns = false, radd = false,
+       rlist = false, grain_over_range = false;
+  for (std::uint64_t seed = 1; seed <= 120; ++seed) {
+    const program p = generate_program(seed, 16);
+    pfor = pfor || p.num_pfor > 0;
+    throws = throws || p.num_throws > 0;
+    spawns = spawns || p.num_spawn_blocks > 0;
+    radd = radd || p.uses_radd;
+    rlist = rlist || p.uses_rlist;
+    // Find a pfor whose grain exceeds its trip count (the must-run-serially
+    // edge case is part of the generated mix by design).
+    std::vector<const prog_node*> stack{&p.root};
+    while (!stack.empty()) {
+      const prog_node* n = stack.back();
+      stack.pop_back();
+      if (n->kind == op::pfor && n->grain > n->iters) grain_over_range = true;
+      for (const prog_node& c : n->children) stack.push_back(&c);
+    }
+  }
+  EXPECT_TRUE(pfor);
+  EXPECT_TRUE(throws);
+  EXPECT_TRUE(spawns);
+  EXPECT_TRUE(radd);
+  EXPECT_TRUE(rlist);
+  EXPECT_TRUE(grain_over_range);
+}
+
+TEST(Generator, MetadataConsistent) {
+  for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+    const program p = generate_program(seed, 14);
+    EXPECT_GE(p.num_work, 1u) << seed;
+    EXPECT_EQ(p.num_slots, p.num_work) << seed;
+    EXPECT_GE(p.max_spawn_width, 1u) << seed;
+    EXPECT_LE(p.expected_rlist.size(), p.num_work) << seed;
+    EXPECT_GT(p.expected_work, 0u) << seed;
+  }
+}
+
+// --- Engine-generic interpreter (no scheduler involved). ---
+
+TEST(Interp, SerialMatchesGeneratorExpectations) {
+  for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+    const program p = generate_program(seed, 14);
+    run_state st(p);
+    rt::serial_context root;
+    interp(root, p, p.root, st);
+    EXPECT_EQ(root.accounted_work(), p.expected_work) << seed;
+    const run_result r = finish(p, st);
+    EXPECT_EQ(r.rlist, p.expected_rlist) << seed;
+    for (std::uint64_t mark : st.marks) EXPECT_NE(mark, 0u) << seed;
+  }
+}
+
+TEST(Interp, RecorderAndScreenMatchElision) {
+  for (std::uint64_t seed : {3ULL, 17ULL, 51ULL, 404ULL}) {
+    const program p = generate_program(seed, 16);
+
+    run_state serial_st(p);
+    rt::serial_context root;
+    interp(root, p, p.root, serial_st);
+    const run_result serial_r = finish(p, serial_st);
+
+    run_state rec_st(p);
+    dag::record([&](dag::recorder_context& ctx) {
+      interp(ctx, p, p.root, rec_st);
+    });
+    EXPECT_EQ(finish(p, rec_st).checksum, serial_r.checksum) << seed;
+
+    run_state scr_st(p);
+    screen::detector d;
+    screen::run_under_detector(d, [&](screen::screen_context& ctx) {
+      interp(ctx, p, p.root, scr_st);
+    });
+    EXPECT_EQ(finish(p, scr_st).checksum, serial_r.checksum) << seed;
+    EXPECT_FALSE(d.found_races()) << seed;
+  }
+}
+
+// --- Chaos policy. ---
+
+TEST(Chaos, SeedZeroIsTheNullPolicy) {
+  const chaos_params p = chaos_params::from_seed(0);
+  EXPECT_EQ(p.yield_chance, 0u);
+  EXPECT_EQ(p.sleep_chance, 0u);
+  EXPECT_EQ(p.long_sleep_chance, 0u);
+  EXPECT_EQ(p.prefer_steal_chance, 0u);
+  EXPECT_EQ(p.victim_override_chance, 0u);
+  EXPECT_EQ(p.starved_workers, 0u);
+}
+
+TEST(Chaos, ParamsDeterministicAndSeedSensitive) {
+  bool any_difference = false;
+  for (std::uint64_t seed = 1; seed <= 16; ++seed) {
+    const chaos_params a = chaos_params::from_seed(seed);
+    const chaos_params b = chaos_params::from_seed(seed);
+    EXPECT_EQ(a.describe(), b.describe()) << seed;
+    any_difference =
+        any_difference ||
+        a.describe() != chaos_params::from_seed(seed + 1).describe();
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Chaos, DecisionStreamsAreDeterministicPerWorker) {
+  seeded_chaos a(42, 4), b(42, 4);
+  for (unsigned w = 0; w < 4; ++w) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_EQ(a.prefer_steal(w), b.prefer_steal(w));
+      EXPECT_EQ(a.pick_victim(w, 4), b.pick_victim(w, 4));
+    }
+  }
+  const chaos_stats sa = a.stats(), sb = b.stats();
+  EXPECT_EQ(sa.forced_steals, sb.forced_steals);
+  EXPECT_EQ(sa.victim_overrides, sb.victim_overrides);
+}
+
+TEST(Chaos, PerturbCountsEveryPoint) {
+  seeded_chaos c(7, 2);
+  for (int i = 0; i < 50; ++i) c.perturb(0, rt::chaos_point::spawn_push);
+  for (int i = 0; i < 30; ++i) c.perturb(1, rt::chaos_point::steal_attempt);
+  EXPECT_EQ(c.stats().points, 80u);
+}
+
+TEST(Chaos, PickVictimStaysInRangeOrKeepsDefault) {
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    seeded_chaos c(seed, 4);
+    for (int i = 0; i < 300; ++i) {
+      const std::size_t v = c.pick_victim(1, 4);
+      EXPECT_TRUE(v == 4 || (v < 4 && v != 1)) << "seed " << seed;
+    }
+  }
+}
+
+// --- Failure-report contract: seeds reprint for deterministic replay. ---
+
+TEST(Oracle, FailureReportCarriesReproSeeds) {
+  stress_failure f;
+  f.c = stress_case{123, 45, 4, 14};
+  f.oracle = "runtime-differs";
+  f.detail = "checksum mismatch";
+  const std::string s = f.describe();
+  EXPECT_NE(s.find("program_seed=123"), std::string::npos) << s;
+  EXPECT_NE(s.find("chaos_seed=45"), std::string::npos) << s;
+  EXPECT_NE(s.find("workers=4"), std::string::npos) << s;
+  EXPECT_NE(s.find("REPRO"), std::string::npos) << s;
+  EXPECT_NE(s.find("runtime-differs"), std::string::npos) << s;
+}
+
+TEST(Oracle, SingleCaseRunsCleanUnderAdversarialChaos) {
+  stress_harness h;
+  fuzz_report rep;
+  h.run_case(stress_case{424242, 3, 4, 16}, rep);
+  EXPECT_TRUE(rep.ok()) << rep.summary();
+  EXPECT_EQ(rep.threaded_runs, 1u);
+}
+
+TEST(Oracle, FingerprintIsDeterministicAcrossHarnesses) {
+  fuzz_options opt;
+  opt.programs = 12;
+  opt.chaos_per_program = 1;
+  stress_harness h1, h2;
+  const fuzz_report r1 = h1.fuzz(opt);
+  const fuzz_report r2 = h2.fuzz(opt);
+  EXPECT_TRUE(r1.ok()) << r1.summary();
+  EXPECT_EQ(r1.fingerprint, r2.fingerprint);
+  EXPECT_EQ(r1.programs, r2.programs);
+}
+
+// --- The acceptance sweep (ISSUE: >= 200 programs, >= 8 chaos seeds,
+// every oracle, < 60 s). ---
+
+TEST(StressFuzz, TierOneSweep) {
+  const auto t0 = std::chrono::steady_clock::now();
+  stress_harness h;
+  fuzz_report rep = h.fuzz(fuzz_options{});
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_TRUE(rep.ok()) << rep.summary();
+  EXPECT_GE(rep.programs, 200u);
+  EXPECT_GE(rep.threaded_runs, 400u);
+  EXPECT_GE(rep.chaos_seeds_used, 8u);
+  EXPECT_LT(secs, 60.0) << rep.summary();
+}
+
+// --- Oversubscription (ISSUE satellite: P = 4x hardware threads). ---
+
+std::uint64_t tree_sum(rt::context& ctx, unsigned depth) {
+  if (depth == 0) return 1;
+  std::uint64_t a = 0;
+  ctx.spawn([&a, depth](rt::context& child) { a = tree_sum(child, depth - 1); });
+  const std::uint64_t b = tree_sum(ctx, depth - 1);
+  ctx.sync();
+  return a + b;
+}
+
+TEST(Oversubscription, FourTimesHardwareThreadsStaysCorrectAndBounded) {
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  const unsigned P = 4 * hw;
+
+  rt::scheduler sched(P);
+  sched.reset_stats();
+  for (int round = 0; round < 3; ++round) {
+    const std::uint64_t sum =
+        sched.run([](rt::context& ctx) { return tree_sum(ctx, 11); });
+    EXPECT_EQ(sum, std::uint64_t{1} << 11);
+  }
+  // Busy-leaves deque bound: tree_sum frames spawn at most ONE child before
+  // syncing, so no worker's deque can ever be deeper than its live frames.
+  for (const rt::worker_stats& ws : sched.per_worker_stats()) {
+    EXPECT_LE(ws.peak_deque, ws.peak_live_frames);
+  }
+
+  // And the full oracle battery holds at this worker count too.
+  stress_harness h;
+  fuzz_report rep;
+  h.run_case(stress_case{777, 5, P, 16}, rep);
+  h.run_case(stress_case{778, 13, P, 16}, rep);
+  EXPECT_TRUE(rep.ok()) << rep.summary();
+}
+
+}  // namespace

@@ -1,0 +1,138 @@
+// Task-pool statistics and the leak-balance oracle (the allocator behind
+// every cilk_spawn): per-class alloc/free/reuse accounting, the oversize
+// heap fallback, and global balance once schedulers are quiescent.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+#include "runtime/scheduler.hpp"
+#include "runtime/task_pool.hpp"
+
+namespace {
+
+using namespace cilkpp::rt;
+
+task_pool_stats snap() { return task_pool_totals(); }
+
+/// Task destruction may lag run()'s return by a beat: the freeing worker
+/// decrements the parent's pending count before destroy_task runs.
+bool wait_balanced(unsigned timeout_ms = 2000) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (!task_pool_totals().balanced()) {
+    if (std::chrono::steady_clock::now() >= deadline) {
+      return task_pool_totals().balanced();
+    }
+    std::this_thread::yield();
+  }
+  return true;
+}
+
+std::uint64_t tree_sum(context& ctx, unsigned depth) {
+  if (depth == 0) return 1;
+  std::uint64_t a = 0;
+  ctx.spawn([&a, depth](context& child) { a = tree_sum(child, depth - 1); });
+  const std::uint64_t b = tree_sum(ctx, depth - 1);
+  ctx.sync();
+  return a + b;
+}
+
+TEST(TaskPoolStats, CountsAllocsAndFreesPerClass) {
+  const task_pool_stats before = snap();
+  void* p = task_allocate(64);  // class 0
+  void* q = task_allocate(200); // class 2 (256)
+  task_deallocate(p, 64);
+  task_deallocate(q, 200);
+  const task_pool_stats after = snap();
+  EXPECT_EQ(after.classes[0].block_size, 64u);
+  EXPECT_EQ(after.classes[2].block_size, 256u);
+  EXPECT_EQ(after.classes[0].allocs, before.classes[0].allocs + 1);
+  EXPECT_EQ(after.classes[0].frees, before.classes[0].frees + 1);
+  EXPECT_EQ(after.classes[2].allocs, before.classes[2].allocs + 1);
+  EXPECT_EQ(after.classes[2].frees, before.classes[2].frees + 1);
+}
+
+TEST(TaskPoolStats, ReuseCountedWhenServedFromFreeList) {
+  // Warm the 128-byte list, then allocate again: the second allocation must
+  // be served from the list and counted as a reuse.
+  void* warm = task_allocate(100);
+  task_deallocate(warm, 100);
+  const task_pool_stats before = snap();
+  void* p = task_allocate(128);
+  const task_pool_stats after = snap();
+  EXPECT_EQ(p, warm);  // LIFO recycling hands back the same block
+  EXPECT_EQ(after.classes[1].reused, before.classes[1].reused + 1);
+  task_deallocate(p, 128);
+}
+
+TEST(TaskPoolStats, OversizeRequestsCountedOnFallbackRow) {
+  const task_pool_stats before = snap();
+  void* p = task_allocate(4096);
+  const task_pool_stats mid = snap();
+  task_deallocate(p, 4096);
+  const task_pool_stats after = snap();
+  const auto& row = after.classes[pool_detail::num_classes];
+  EXPECT_EQ(row.block_size, 0u);  // heap fallback, no fixed class size
+  EXPECT_EQ(row.allocs, before.classes[pool_detail::num_classes].allocs + 1);
+  EXPECT_EQ(row.frees, before.classes[pool_detail::num_classes].frees + 1);
+  EXPECT_EQ(mid.live(), before.live() + 1);
+  EXPECT_EQ(after.live(), before.live());
+}
+
+TEST(TaskPoolStats, LiveTracksOutstandingBlocks) {
+  const task_pool_stats before = snap();
+  void* a = task_allocate(64);
+  void* b = task_allocate(64);
+  EXPECT_EQ(snap().live(), before.live() + 2);
+  task_deallocate(a, 64);
+  EXPECT_EQ(snap().live(), before.live() + 1);
+  task_deallocate(b, 64);
+  EXPECT_EQ(snap().live(), before.live());
+}
+
+TEST(TaskPoolStats, BalancedAfterSchedulerRuns) {
+  // The leak oracle: every spawn allocates exactly one task block and every
+  // executed task frees it, so the pool balances at quiescence no matter
+  // which worker freed which block.
+  const task_pool_stats before = snap();
+  {
+    scheduler sched(4);
+    for (int round = 0; round < 4; ++round) {
+      const std::uint64_t sum =
+          sched.run([](context& ctx) { return tree_sum(ctx, 10); });
+      EXPECT_EQ(sum, std::uint64_t{1} << 10);
+    }
+    ASSERT_TRUE(wait_balanced());
+  }
+  const task_pool_stats after = snap();
+  EXPECT_TRUE(after.balanced())
+      << after.total_allocs() << " allocs vs " << after.total_frees()
+      << " frees";
+  // 4 rounds x (2^10 - 1) spawns actually flowed through the pool...
+  EXPECT_GE(after.total_allocs(), before.total_allocs() + 4 * 1023);
+  // ...and repeat runs recycle blocks instead of hitting operator new.
+  std::uint64_t reused = 0, before_reused = 0;
+  for (const auto& c : after.classes) reused += c.reused;
+  for (const auto& c : before.classes) before_reused += c.reused;
+  EXPECT_GT(reused, before_reused);
+}
+
+TEST(TaskPoolStats, BalanceSurvivesExceptionUnwinds) {
+  scheduler sched(2);
+  for (int round = 0; round < 8; ++round) {
+    try {
+      sched.run([&](context& ctx) {
+        ctx.spawn([](context& child) { (void)tree_sum(child, 6); });
+        ctx.spawn([](context&) { throw std::runtime_error("boom"); });
+        ctx.sync();
+      });
+      FAIL() << "exception did not propagate";
+    } catch (const std::runtime_error&) {
+    }
+  }
+  EXPECT_TRUE(wait_balanced());
+}
+
+}  // namespace
