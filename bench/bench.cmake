@@ -28,4 +28,5 @@ cilkpp_add_bench(bench_ablation_grain cilkpp_dag cilkpp_sim cilkpp_workloads)
 cilkpp_add_bench(bench_ablation_burden cilkpp_dag cilkpp_sim cilkpp_cilkview cilkpp_workloads)
 cilkpp_add_bench(bench_trace_overhead cilkpp_trace cilkpp_workloads benchmark::benchmark)
 cilkpp_add_bench(bench_stress_overhead cilkpp_stress cilkpp_workloads benchmark::benchmark)
+cilkpp_add_bench(bench_lint_overhead cilkpp_lint cilkpp_runtime)
 cilkpp_add_bench(stress_fuzz cilkpp_stress)

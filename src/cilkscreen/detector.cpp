@@ -14,6 +14,11 @@ detector::detector() {
 }
 
 proc_id detector::enter_spawn(proc_id parent) {
+#if CILKPP_LINT_ENABLED
+  // Fire before the child exists: any lock still held belongs to the
+  // parent's (or an ancestor's) strand crossing this spawn boundary.
+  if (lint_ != nullptr) lint_->on_boundary(lint::boundary::spawn, parent);
+#endif
   ++stats_.procedures;
   const proc_id child = bags_.enter_procedure(parent);
   const proc_id tree_child = tree_.add_spawn(parent);
@@ -22,6 +27,11 @@ proc_id detector::enter_spawn(proc_id parent) {
 }
 
 void detector::exit_spawn(proc_id parent, proc_id child) {
+#if CILKPP_LINT_ENABLED
+  // The spawned child's strand ends here: locks it acquired and still
+  // holds are abandoned.
+  if (lint_ != nullptr) lint_->on_procedure_exit(child);
+#endif
   bags_.return_spawned(parent, child);
 }
 
@@ -37,7 +47,12 @@ void detector::exit_call(proc_id parent, proc_id child) {
   bags_.return_called(parent, child);
 }
 
-void detector::sync(proc_id f) { bags_.sync(f); }
+void detector::sync(proc_id f) {
+#if CILKPP_LINT_ENABLED
+  if (lint_ != nullptr) lint_->on_boundary(lint::boundary::sync, f);
+#endif
+  bags_.sync(f);
+}
 
 void detector::report(race_kind rk, std::uintptr_t addr,
                       const history_entry<proc_id>& first, proc_id current,
@@ -89,6 +104,15 @@ void detector::on_access(proc_id current, const void* addr, std::size_t size,
         report(race_kind::view, hs.lo, e, current, kind, label);
       }
     }
+#if CILKPP_LINT_ENABLED
+    // The serially-ordered counterpart is lint's view-escape check: a view
+    // reference cached across a strand boundary.
+    if (lint_ != nullptr) {
+      lint_->on_raw_view_access(
+          hs.id, current,
+          [this](const proc_id& s) { return bags_.in_p_bag(s); }, label);
+    }
+#endif
   }
 }
 
@@ -106,20 +130,43 @@ void detector::on_write(proc_id current, const void* addr, std::size_t size,
 
 lock_id detector::register_lock() { return next_lock_++; }
 
-void detector::lock_acquired(lock_id id) {
+void detector::lock_acquired(proc_id current, lock_id id) {
   CILKPP_ASSERT(!lockset_contains(held_, id),
                 "lock acquired twice (not recursive)");
+#if CILKPP_LINT_ENABLED
+  if (lint_ != nullptr) {
+    // SP-bags answers remembered-vs-current exactly; it cannot order two
+    // remembered strands, so the pair predicate is conservatively true.
+    lint_->on_acquire(
+        current, current, id,
+        [this](const proc_id& s) { return bags_.in_p_bag(s); },
+        [](const proc_id&, const proc_id&) { return true; });
+  }
+#else
+  (void)current;
+#endif
   held_.push_back(id);
 }
 
-void detector::lock_released(lock_id id) {
+void detector::lock_released(proc_id current, lock_id id) {
   for (std::size_t i = 0; i < held_.size(); ++i) {
     if (held_[i] == id) {
       held_.swap_remove(i);
+#if CILKPP_LINT_ENABLED
+      if (lint_ != nullptr) lint_->on_release(current, id);
+#else
+      (void)current;
+#endif
       return;
     }
   }
-  CILKPP_UNREACHABLE("releasing a lock that is not held");
+  // A release with no matching acquisition (double unlock, unlock of a
+  // never-locked mutex). The lockset is already consistent — there is
+  // nothing to remove — so record the fact and keep going.
+  ++stats_.unmatched_releases;
+#if CILKPP_LINT_ENABLED
+  if (lint_ != nullptr) lint_->on_unmatched_release(current, id);
+#endif
 }
 
 detector::hyper_state* detector::find_hyper(const rt::hyperobject_base& h) {
@@ -171,6 +218,17 @@ void detector::on_view_access(proc_id current, const rt::hyperobject_base& h,
   hs.views.access(current, current, kind, lockset{}, hs.label, parallel,
                   [](const history_entry<proc_id>&) {}, stats_);
 }
+
+#if CILKPP_LINT_ENABLED
+void detector::on_view_fetch(proc_id current, const rt::hyperobject_base& h,
+                             const void* base, std::size_t size,
+                             const char* label) {
+  register_hyperobject(h, base, size, label);
+  if (lint_ == nullptr) return;
+  lint_->on_view_fetch(&h, current, current,
+                       reinterpret_cast<std::uintptr_t>(base), label);
+}
+#endif
 
 const std::vector<race_record>& detector::races() const {
   if (!races_sorted_) {

@@ -34,6 +34,7 @@
 #include "cilkscreen/report.hpp"
 #include "cilkscreen/shadow.hpp"
 #include "cilkscreen/spbags.hpp"
+#include "lint/analyzer.hpp"
 
 namespace cilkpp::rt {
 struct hyperobject_base;  // identity only; defined in runtime/hyper_iface.hpp
@@ -62,10 +63,11 @@ class detector {
   void on_write(proc_id current, const void* addr, std::size_t size,
                 const char* label = nullptr);
 
-  // --- Lock events (execution is serial: one global current lockset). ---
+  // --- Lock events (execution is serial: one global current lockset).
+  // `current` is the acquiring/releasing procedure, for lint provenance. ---
   lock_id register_lock();
-  void lock_acquired(lock_id id);
-  void lock_released(lock_id id);
+  void lock_acquired(proc_id current, lock_id id);
+  void lock_released(proc_id current, lock_id id);
 
   // --- Hyperobject events (reducer awareness). ---
   /// Associates the hyperobject's user-visible value bytes [base, base+size)
@@ -81,6 +83,26 @@ class detector {
   void on_view_access(proc_id current, const rt::hyperobject_base& h,
                       const void* base, std::size_t size, access_kind kind,
                       const char* label = nullptr);
+
+#if CILKPP_LINT_ENABLED
+  // --- Lock-discipline analysis (cilk::lint). ---
+  /// The lint analyzer for this engine: strands are identified by proc_id,
+  /// and the SP-bags pair-parallel predicate is conservative (SP-bags can
+  /// only order a remembered strand against the CURRENT one) — see
+  /// lint/analyzer.hpp.
+  using lint_analyzer = lint::analyzer<proc_id>;
+  /// Attaches (nullptr: detaches) an analyzer; it receives every lock,
+  /// boundary, and view-identity event from here on. The analyzer must
+  /// outlive its attachment; call la->finish() after the run.
+  void attach_lint(lint_analyzer* la) { lint_ = la; }
+  lint_analyzer* attached_lint() const { return lint_; }
+  /// A strand *obtained* a reducer view (reducer::view under a screen
+  /// context). Feeds the lint view-escape check; also registers the
+  /// hyperobject so raw overlap is detectable.
+  void on_view_fetch(proc_id current, const rt::hyperobject_base& h,
+                     const void* base, std::size_t size,
+                     const char* label = nullptr);
+#endif
 
   // --- Results. ---
   /// Reports in deterministic (address, first_proc, second_proc) order.
@@ -114,6 +136,9 @@ class detector {
   hyper_state* find_hyper(const rt::hyperobject_base& h);
 
   sp_bags bags_;
+#if CILKPP_LINT_ENABLED
+  lint_analyzer* lint_ = nullptr;
+#endif
   proc_id root_;
   proc_tree tree_;
   shadow_table<shadow_cell> shadow_;

@@ -88,6 +88,10 @@ struct detector_stats {
   /// subset of reported races that are view races.
   std::uint64_t view_accesses = 0;
   std::uint64_t view_races = 0;
+  /// Lock discipline: releases with no matching acquisition (double unlock).
+  /// Formerly a hard abort; the engine now stays consistent and counts it —
+  /// an attached lint::analyzer additionally renders a diagnostic.
+  std::uint64_t unmatched_releases = 0;
 };
 
 }  // namespace cilkpp::screen

@@ -82,6 +82,17 @@ class basic_screen_context {
                        label);
   }
 
+#if CILKPP_LINT_ENABLED
+  /// Lint hook: the calling strand *obtained* a reducer view (fetched a
+  /// reference to it). reducer::view() calls this before note_view_access,
+  /// so an attached lint::analyzer can flag the reference escaping to a
+  /// serially-later strand (lint_kind::view_escape).
+  void note_view_fetch(rt::hyperobject_base& h, const void* base,
+                       std::size_t size, const char* label = nullptr) {
+    d_->on_view_fetch(self_, h, base, size, label);
+  }
+#endif
+
   Detector& screen_detector() const { return *d_; }
   proc_id procedure() const { return self_; }
 
@@ -182,8 +193,12 @@ class basic_screen_mutex {
  public:
   explicit basic_screen_mutex(Detector& d) : d_(&d), id_(d.register_lock()) {}
 
-  void lock(basic_screen_context<Detector>&) { d_->lock_acquired(id_); }
-  void unlock(basic_screen_context<Detector>&) { d_->lock_released(id_); }
+  void lock(basic_screen_context<Detector>& ctx) {
+    d_->lock_acquired(ctx.procedure(), id_);
+  }
+  void unlock(basic_screen_context<Detector>& ctx) {
+    d_->lock_released(ctx.procedure(), id_);
+  }
 
   lock_id id() const { return id_; }
 

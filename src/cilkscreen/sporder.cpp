@@ -17,6 +17,9 @@ order_detector::order_detector() {
 
 proc_id order_detector::enter_spawn(proc_id parent) {
   CILKPP_ASSERT(parent < frames_.size(), "unknown frame");
+#if CILKPP_LINT_ENABLED
+  if (lint_ != nullptr) lint_->on_boundary(lint::boundary::spawn, parent);
+#endif
   ++stats_.procedures;
   frame child;
   {
@@ -48,7 +51,11 @@ void order_detector::exit_spawn(proc_id parent, proc_id child) {
   // The child's strands keep their positions inside its E/H intervals;
   // nothing moves at return.
   (void)parent;
+#if CILKPP_LINT_ENABLED
+  if (lint_ != nullptr) lint_->on_procedure_exit(child);
+#else
   (void)child;
+#endif
 }
 
 proc_id order_detector::enter_call(proc_id parent) {
@@ -68,13 +75,21 @@ proc_id order_detector::enter_call(proc_id parent) {
 
 void order_detector::exit_call(proc_id parent, proc_id child) {
   // Implicit sync of the callee, then the caller resumes the callee's
-  // final strand (a plain call is serial).
-  sync(child);
+  // final strand (a plain call is serial). sync_impl, not sync: a call
+  // return is not a programmer-written strand boundary, so no lint event.
+  sync_impl(child);
   frames_[parent].cur_e = frames_[child].cur_e;
   frames_[parent].cur_h = frames_[child].cur_h;
 }
 
 void order_detector::sync(proc_id f) {
+#if CILKPP_LINT_ENABLED
+  if (lint_ != nullptr) lint_->on_boundary(lint::boundary::sync, f);
+#endif
+  sync_impl(f);
+}
+
+void order_detector::sync_impl(proc_id f) {
   CILKPP_ASSERT(f < frames_.size(), "unknown frame");
   frame& fr = frames_[f];
   if (fr.block_join == nullptr) return;  // no spawns since the last sync
@@ -137,6 +152,16 @@ void order_detector::on_access(proc_id current, const void* addr,
         report(race_kind::view, hs.lo, e, current, kind, label);
       }
     }
+#if CILKPP_LINT_ENABLED
+    if (lint_ != nullptr) {
+      lint_->on_raw_view_access(
+          hs.id, current,
+          [cur_h](om_list::node* const& s) {
+            return om_list::precedes(cur_h, s);
+          },
+          label);
+    }
+#endif
   }
 }
 
@@ -152,20 +177,51 @@ void order_detector::on_write(proc_id current, const void* addr,
   on_access(current, addr, size, access_kind::write, label);
 }
 
-void order_detector::lock_acquired(lock_id id) {
+void order_detector::lock_acquired(proc_id current, lock_id id) {
   CILKPP_ASSERT(!lockset_contains(held_, id),
                 "lock acquired twice (not recursive)");
+#if CILKPP_LINT_ENABLED
+  if (lint_ != nullptr) {
+    CILKPP_ASSERT(current < frames_.size(), "unknown frame");
+    om_list::node* const cur_h = frames_[current].cur_h;
+    lint_->on_acquire(
+        cur_h, current, id,
+        // Remembered vs current: parallel iff the remembered strand is
+        // H-after the current one (the engine's own race query).
+        [cur_h](om_list::node* const& s) {
+          return om_list::precedes(cur_h, s);
+        },
+        // Two remembered strands, `earlier` recorded (E-)before `later`:
+        // parallel iff `later` H-precedes `earlier` — exact, unlike the
+        // SP-bags engine's conservative answer.
+        [](om_list::node* const& earlier, om_list::node* const& later) {
+          return om_list::precedes(later, earlier);
+        });
+  }
+#else
+  (void)current;
+#endif
   held_.push_back(id);
 }
 
-void order_detector::lock_released(lock_id id) {
+void order_detector::lock_released(proc_id current, lock_id id) {
   for (std::size_t i = 0; i < held_.size(); ++i) {
     if (held_[i] == id) {
       held_.swap_remove(i);
+#if CILKPP_LINT_ENABLED
+      if (lint_ != nullptr) lint_->on_release(current, id);
+#else
+      (void)current;
+#endif
       return;
     }
   }
-  CILKPP_UNREACHABLE("releasing a lock that is not held");
+  // Double unlock / unlock of a never-locked mutex: the lockset is already
+  // consistent, so record the fact and keep going (see detector.cpp).
+  ++stats_.unmatched_releases;
+#if CILKPP_LINT_ENABLED
+  if (lint_ != nullptr) lint_->on_unmatched_release(current, id);
+#endif
 }
 
 order_detector::hyper_state* order_detector::find_hyper(
@@ -219,6 +275,19 @@ void order_detector::on_view_access(proc_id current,
   hs.views.access(cur_h, current, kind, lockset{}, hs.label, parallel,
                   [](const entry&) {}, stats_);
 }
+
+#if CILKPP_LINT_ENABLED
+void order_detector::on_view_fetch(proc_id current,
+                                   const rt::hyperobject_base& h,
+                                   const void* base, std::size_t size,
+                                   const char* label) {
+  CILKPP_ASSERT(current < frames_.size(), "unknown frame");
+  register_hyperobject(h, base, size, label);
+  if (lint_ == nullptr) return;
+  lint_->on_view_fetch(&h, frames_[current].cur_h, current,
+                       reinterpret_cast<std::uintptr_t>(base), label);
+}
+#endif
 
 const std::vector<race_record>& order_detector::races() const {
   if (!races_sorted_) {

@@ -37,6 +37,7 @@
 #include "cilkscreen/race_types.hpp"
 #include "cilkscreen/report.hpp"
 #include "cilkscreen/shadow.hpp"
+#include "lint/analyzer.hpp"
 
 namespace cilkpp::rt {
 struct hyperobject_base;  // identity only; defined in runtime/hyper_iface.hpp
@@ -65,10 +66,10 @@ class order_detector {
   void on_write(proc_id current, const void* addr, std::size_t size,
                 const char* label = nullptr);
 
-  // --- Lock events. ---
+  // --- Lock events. `current` is the acquiring/releasing procedure. ---
   lock_id register_lock() { return next_lock_++; }
-  void lock_acquired(lock_id id);
-  void lock_released(lock_id id);
+  void lock_acquired(proc_id current, lock_id id);
+  void lock_released(proc_id current, lock_id id);
 
   // --- Hyperobject events (reducer awareness; see detector.hpp). ---
   void register_hyperobject(const rt::hyperobject_base& h, const void* base,
@@ -76,6 +77,19 @@ class order_detector {
   void on_view_access(proc_id current, const rt::hyperobject_base& h,
                       const void* base, std::size_t size, access_kind kind,
                       const char* label = nullptr);
+
+#if CILKPP_LINT_ENABLED
+  // --- Lock-discipline analysis (cilk::lint). ---
+  /// Strands are identified by their Hebrew-order node, which lets this
+  /// engine answer the pair-parallel query EXACTLY: for two remembered
+  /// strands (earlier, later), parallel iff later H-precedes earlier.
+  using lint_analyzer = lint::analyzer<om_list::node*>;
+  void attach_lint(lint_analyzer* la) { lint_ = la; }
+  lint_analyzer* attached_lint() const { return lint_; }
+  void on_view_fetch(proc_id current, const rt::hyperobject_base& h,
+                     const void* base, std::size_t size,
+                     const char* label = nullptr);
+#endif
 
   // --- Results. ---
   /// Reports in deterministic (address, first_proc, second_proc) order.
@@ -115,6 +129,11 @@ class order_detector {
 
   void on_access(proc_id current, const void* addr, std::size_t size,
                  access_kind kind, const char* label);
+  /// The order-maintenance part of sync. The public sync() additionally
+  /// fires the lint strand-boundary event; exit_call's IMPLICIT sync of the
+  /// callee goes straight here — a plain call return is not a boundary the
+  /// programmer wrote, and the SP-bags engine has no event there either.
+  void sync_impl(proc_id f);
   void report(race_kind rk, std::uintptr_t addr, const entry& first,
               proc_id current, access_kind second_kind,
               const char* second_label);
@@ -122,6 +141,9 @@ class order_detector {
 
   om_list english_;
   om_list hebrew_;
+#if CILKPP_LINT_ENABLED
+  lint_analyzer* lint_ = nullptr;
+#endif
   std::vector<frame> frames_;
   proc_tree tree_;
   shadow_table<shadow_cell> shadow_;

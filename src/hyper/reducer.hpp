@@ -52,6 +52,17 @@ concept screens_views = requires(Ctx& ctx, rt::hyperobject_base& h,
   ctx.note_view_access(h, base, std::size_t{}, true, (const char*)nullptr);
 };
 
+/// Detects screen contexts with the lint view-identity hook (present when
+/// the lint layer is compiled in): view() additionally reports that this
+/// strand OBTAINED the view, so an attached lint::analyzer can flag the
+/// reference escaping to a serially-later strand — the caching bug the
+/// "re-fetch after spawn or sync" rule below exists to prevent.
+template <typename Ctx>
+concept lints_views = requires(Ctx& ctx, rt::hyperobject_base& h,
+                               const void* base) {
+  ctx.note_view_fetch(h, base, std::size_t{}, (const char*)nullptr);
+};
+
 template <monoid M>
 class reducer final : public rt::hyperobject_base {
  public:
@@ -77,6 +88,10 @@ class reducer final : public rt::hyperobject_base {
       // Under a race-detection engine the serial leftmost value IS the
       // current view; report the access (as a write — the caller gets a
       // mutable reference) so raw bypasses of this reducer are caught.
+      if constexpr (lints_views<Ctx>) {
+        ctx.note_view_fetch(*this, &leftmost_, sizeof(leftmost_),
+                            this->debug_label());
+      }
       ctx.note_view_access(*this, &leftmost_, sizeof(leftmost_),
                            /*is_write=*/true, this->debug_label());
       return leftmost_;

@@ -1,0 +1,109 @@
+// Shared vocabulary of the lock-discipline analyzer (cilk::lint).
+//
+// The paper's Cilkscreen section warns that locks both hide determinacy
+// races and introduce hazards of their own — deadlock, contention, lost
+// strand purity. The race engines (src/cilkscreen) already observe every
+// acquire/release during the serial elision-order execution; the lint layer
+// turns that stream plus the SP relation into discipline diagnostics. A
+// lint_record is the lint analog of race_record: one diagnostic with both
+// endpoints carrying proc_tree provenance, rendered by lint/report.hpp and
+// deterministically ordered so tool output diffs cleanly.
+//
+// The whole layer compiles out with -DCILKPP_LINT=OFF (CMake option →
+// CILKPP_LINT_ENABLED=0): the engines drop their fan-out members and
+// rt::mutex drops its observer hook. These *types* stay compilable either
+// way so analyzer unit tests and tooling build in both configurations.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cilkscreen/race_types.hpp"
+
+#ifndef CILKPP_LINT_ENABLED
+#define CILKPP_LINT_ENABLED 1
+#endif
+
+namespace cilkpp::lint {
+
+inline constexpr screen::lock_id invalid_lock =
+    static_cast<screen::lock_id>(-1);
+
+enum class lint_kind : std::uint8_t {
+  /// A cycle in the lock-order graph between logically parallel strands
+  /// with no common gate lock: the schedules the serial run did NOT take
+  /// include one that deadlocks.
+  deadlock_cycle,
+  /// A lock held while spawning: the child (and the continuation) start
+  /// inside the critical section — strand purity is lost and the lock's
+  /// scope silently spans parallel work.
+  lock_across_spawn,
+  /// A lock held at a sync: the joining strands serialize behind it.
+  lock_across_sync,
+  /// A lock still held when its strand ended (spawned procedure returned,
+  /// or the computation finished) — nobody left to release it.
+  abandoned_lock,
+  /// A release with no matching acquisition (e.g. a double unlock).
+  /// Previously a hard CILKPP_UNREACHABLE abort in both engines; the
+  /// engines now stay consistent and report instead.
+  unmatched_release,
+  /// A reducer view's bytes observed raw by a strand serially AFTER (and
+  /// distinct from) the strand that obtained the view: the reference was
+  /// cached across a strand boundary, where the real runtime would have
+  /// swapped views underneath it. (The logically-parallel variant is a
+  /// view *race* and stays with the race engines.)
+  view_escape,
+};
+
+/// One lint diagnostic. `first_proc` is the earlier / remembered endpoint
+/// (the acquisition, the view fetch), `second_proc` the current one (the
+/// closing acquisition, the boundary, the raw observation); spawn-path
+/// provenance for both is reconstructed from the engine's proc_tree by
+/// lint/report.hpp, exactly like race reports.
+struct lint_record {
+  lint_kind kind = lint_kind::deadlock_cycle;
+  /// Primary lock (deadlock_cycle: the cycle's smallest lock id).
+  screen::lock_id lock = invalid_lock;
+  /// deadlock_cycle only: the locks in acquisition order, rotated so the
+  /// smallest id leads; cycle = {a, b} reads "a then b then a again".
+  std::vector<screen::lock_id> cycle;
+  /// view_escape only: base address of the observed view bytes.
+  std::uintptr_t address = 0;
+  screen::proc_id first_proc = screen::invalid_proc;
+  screen::proc_id second_proc = screen::invalid_proc;
+  std::string first_label;   ///< e.g. the hyperobject label at the fetch
+  std::string second_label;  ///< e.g. the user label at the raw access
+};
+
+/// Deterministic report order: (kind, lock, cycle, address, first_proc,
+/// second_proc) — stable across runs for identical executions.
+inline bool lint_report_order(const lint_record& a, const lint_record& b) {
+  if (a.kind != b.kind) return a.kind < b.kind;
+  if (a.lock != b.lock) return a.lock < b.lock;
+  if (a.cycle != b.cycle) return a.cycle < b.cycle;
+  if (a.address != b.address) return a.address < b.address;
+  if (a.first_proc != b.first_proc) return a.first_proc < b.first_proc;
+  return a.second_proc < b.second_proc;
+}
+
+struct lint_stats {
+  std::uint64_t acquires = 0;
+  std::uint64_t releases = 0;
+  /// Spawn/sync boundaries checked for held locks.
+  std::uint64_t boundaries_checked = 0;
+  /// Lock-order graph bookkeeping.
+  std::uint64_t edges = 0;       ///< distinct (from, to) lock pairs
+  std::uint64_t edge_sites = 0;  ///< remembered acquisition sites
+  std::uint64_t edge_spills = 0; ///< sites dropped at edge_site_capacity
+  /// Lock cycles examined, and why the pruned ones were pruned: the SP
+  /// engine proved the strands serially ordered, or a common gate lock
+  /// serializes the acquisitions (GoodLock-style suppression).
+  std::uint64_t cycle_candidates = 0;
+  std::uint64_t suppressed_serial = 0;
+  std::uint64_t suppressed_gate = 0;
+  /// Diagnostics found (before the dedup/report cap).
+  std::uint64_t records_found = 0;
+};
+
+}  // namespace cilkpp::lint

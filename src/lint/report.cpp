@@ -1,0 +1,90 @@
+#include "lint/report.hpp"
+
+#include <cstdio>
+
+namespace cilkpp::lint {
+
+namespace {
+
+void append_lock(std::string& out, screen::lock_id l) {
+  out += "lock ";
+  out += std::to_string(l);
+}
+
+void append_label(std::string& out, const std::string& label) {
+  if (label.empty()) return;
+  out += " (";
+  out += label;
+  out += ")";
+}
+
+}  // namespace
+
+std::string render_lint(const lint_record& r, const screen::proc_tree& tree) {
+  std::string out;
+  switch (r.kind) {
+    case lint_kind::deadlock_cycle: {
+      out += "potential deadlock: ";
+      for (const screen::lock_id l : r.cycle) {
+        append_lock(out, l);
+        out += " -> ";
+      }
+      append_lock(out, r.cycle.empty() ? r.lock : r.cycle.front());
+      out += " between ";
+      out += tree.path(r.first_proc);
+      out += " and ";
+      out += tree.path(r.second_proc);
+      break;
+    }
+    case lint_kind::lock_across_spawn:
+    case lint_kind::lock_across_sync:
+      append_lock(out, r.lock);
+      out += " acquired by ";
+      out += tree.path(r.first_proc);
+      out += " still held at ";
+      out += r.kind == lint_kind::lock_across_spawn ? "spawn" : "sync";
+      out += " in ";
+      out += tree.path(r.second_proc);
+      break;
+    case lint_kind::abandoned_lock:
+      append_lock(out, r.lock);
+      out += " acquired by ";
+      out += tree.path(r.first_proc);
+      out += " never released before strand end";
+      break;
+    case lint_kind::unmatched_release:
+      append_lock(out, r.lock);
+      out += " released by ";
+      out += tree.path(r.second_proc);
+      out += " without a matching acquisition";
+      break;
+    case lint_kind::view_escape: {
+      char addr[2 + 2 * sizeof(std::uintptr_t) + 1];
+      std::snprintf(addr, sizeof(addr), "0x%llx",
+                    static_cast<unsigned long long>(r.address));
+      out += "reducer view";
+      append_label(out, r.first_label);
+      out += " at ";
+      out += addr;
+      out += " obtained by ";
+      out += tree.path(r.first_proc);
+      out += " observed raw by ";
+      out += tree.path(r.second_proc);
+      append_label(out, r.second_label);
+      break;
+    }
+  }
+  return out;
+}
+
+std::string render_lints(const std::vector<lint_record>& records,
+                         const screen::proc_tree& tree) {
+  std::string out;
+  for (const lint_record& r : records) {
+    out += render_lint(r, tree);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace cilkpp::lint

@@ -1,0 +1,30 @@
+// Rendering lint diagnostics.
+//
+// Mirrors cilkscreen/report.hpp: both endpoints of a lint_record are
+// resolved through the engine's proc_tree into spawn-path strings, e.g.
+//
+//   potential deadlock: lock 0 -> lock 1 -> lock 0 between root/spawn#1
+//       and root/spawn#2
+//   lock 3 acquired by root/spawn#1 still held at sync in root
+//
+// Records render in the analyzer's deterministic lint_report_order, so
+// tool output diffs cleanly across runs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cilkscreen/report.hpp"
+#include "lint/lint_types.hpp"
+
+namespace cilkpp::lint {
+
+/// One diagnostic as plain text, endpoints resolved through the tree.
+std::string render_lint(const lint_record& r, const screen::proc_tree& tree);
+
+/// All diagnostics, one per line, in the order given (the analyzer's
+/// records() accessor already sorts deterministically).
+std::string render_lints(const std::vector<lint_record>& records,
+                         const screen::proc_tree& tree);
+
+}  // namespace cilkpp::lint

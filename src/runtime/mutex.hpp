@@ -1,30 +1,79 @@
 // The Cilk++ mutual-exclusion library (paper Sec. 1: "Cilk++ includes a
 // library for mutual-exclusion (mutex) locks") with contention counters, so
 // experiment E12 can report how often the Fig. 6 lock actually blocked.
+//
+// When the lint layer is compiled in (CILKPP_LINT, the default) the mutex
+// also carries an observer hook: a process-wide mutex_observer sees every
+// acquire/release, identified by the mutex's address. That is how lint's
+// SP-blind census (lint/mutex_census.hpp) profiles the production lock
+// traffic the serial-elision analyzers never see. With no observer
+// installed the cost is one relaxed atomic load per operation; with
+// -DCILKPP_LINT=OFF the hook compiles away entirely.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <mutex>
 
+#ifndef CILKPP_LINT_ENABLED
+#define CILKPP_LINT_ENABLED 1
+#endif
+
 namespace cilkpp::rt {
+
+#if CILKPP_LINT_ENABLED
+/// Sees every cilk::mutex acquire/release in the process, keyed by the
+/// mutex's address. Callbacks run on the acquiring/releasing thread, under
+/// the lock on acquire and still under it on release — keep them cheap and
+/// reentrancy-free (do not take cilk::mutexes inside).
+class mutex_observer {
+ public:
+  virtual ~mutex_observer() = default;
+  virtual void on_acquire(const void* m) = 0;
+  virtual void on_release(const void* m) = 0;
+};
+
+inline std::atomic<mutex_observer*>& mutex_observer_slot() {
+  static std::atomic<mutex_observer*> slot{nullptr};
+  return slot;
+}
+
+/// Installs (or, with nullptr, removes) the process-wide observer. The
+/// caller must keep the observer alive until after removal; removal does
+/// not wait for in-flight callbacks, so tear down only at quiescence.
+inline void install_mutex_observer(mutex_observer* o) {
+  mutex_observer_slot().store(o, std::memory_order_release);
+}
+
+inline mutex_observer* installed_mutex_observer() {
+  return mutex_observer_slot().load(std::memory_order_acquire);
+}
+#endif  // CILKPP_LINT_ENABLED
 
 class mutex {
  public:
   void lock() {
     acquisitions_.fetch_add(1, std::memory_order_relaxed);
-    if (m_.try_lock()) return;
-    contended_.fetch_add(1, std::memory_order_relaxed);
-    m_.lock();
+    if (!m_.try_lock()) {
+      contended_.fetch_add(1, std::memory_order_relaxed);
+      m_.lock();
+    }
+    note_acquired();
   }
 
   bool try_lock() {
     if (!m_.try_lock()) return false;
     acquisitions_.fetch_add(1, std::memory_order_relaxed);
+    note_acquired();
     return true;
   }
 
-  void unlock() { m_.unlock(); }
+  void unlock() {
+#if CILKPP_LINT_ENABLED
+    if (mutex_observer* o = installed_mutex_observer()) o->on_release(this);
+#endif
+    m_.unlock();
+  }
 
   std::uint64_t acquisitions() const {
     return acquisitions_.load(std::memory_order_relaxed);
@@ -40,6 +89,12 @@ class mutex {
   }
 
  private:
+  void note_acquired() {
+#if CILKPP_LINT_ENABLED
+    if (mutex_observer* o = installed_mutex_observer()) o->on_acquire(this);
+#endif
+  }
+
   std::mutex m_;
   std::atomic<std::uint64_t> acquisitions_{0};
   std::atomic<std::uint64_t> contended_{0};

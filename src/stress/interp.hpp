@@ -11,12 +11,15 @@
 // identical run_results; the oracle (stress/oracle.hpp) checks that.
 #pragma once
 
+#include <concepts>
 #include <cstdint>
+#include <type_traits>
 #include <vector>
 
 #include "dag/recorder.hpp"
 #include "cilkscreen/screen_context.hpp"
 #include "hyper/reducers.hpp"
+#include "runtime/mutex.hpp"
 #include "runtime/parallel_for.hpp"
 #include "runtime/scheduler.hpp"
 #include "runtime/serial.hpp"
@@ -59,19 +62,75 @@ inline void noted_store(Ctx& ctx, T& dst, T value) {
   dst = value;
 }
 
+/// Engines whose locks the detector tracks (the cilkscreen contexts).
+template <typename Ctx>
+concept screens_locks = requires(Ctx& ctx) {
+  { ctx.screen_detector().register_lock() } -> std::same_as<screen::lock_id>;
+};
+
+struct run_state;
+template <typename Ctx>
+void stress_lock(Ctx& ctx, run_state& st, std::uint32_t idx);
+template <typename Ctx>
+void stress_unlock(Ctx& ctx, run_state& st, std::uint32_t idx);
+
 /// Output state of one interpretation. Sized for a specific program; the
 /// reducers must outlive the scheduler::run() that updates them (their
 /// views live in frame slots until the root absorbs them).
 struct run_state {
   explicit run_state(const program& p)
-      : slots(p.num_slots, 0), cells(p.num_cells, 0), marks(p.num_throws, 0) {}
+      : slots(p.num_slots, 0),
+        cells(p.num_cells, 0),
+        marks(p.num_throws, 0),
+        mutexes(p.num_locks) {}
 
   std::vector<std::uint64_t> slots;  ///< one per work leaf
   std::vector<std::uint64_t> cells;  ///< one per pfor iteration
   std::vector<std::uint64_t> marks;  ///< one per throw_last (catch receipt)
+  /// lock_block backing: real mutexes under the threaded runtime…
+  std::vector<cilk::mutex> mutexes;
+  /// …and detector lock ids under the screen engines (registered lazily
+  /// per run, since ids belong to a specific detector instance).
+  std::vector<screen::lock_id> screen_locks;
   hyper::reducer_opadd<std::uint64_t> radd;
   hyper::reducer_vector_append<std::uint32_t> rlist;
 };
+
+/// Lock a program mutex under whatever the engine provides: the detector's
+/// lockset (screen engines — ids registered lazily, they belong to one
+/// detector instance), a real cilk::mutex (the threaded runtime), or
+/// nothing at all (elision and the recorder run serially; a lock that is
+/// never contended has no observable effect there).
+template <typename Ctx>
+void stress_lock(Ctx& ctx, run_state& st, std::uint32_t idx) {
+  if constexpr (screens_locks<Ctx>) {
+    while (st.screen_locks.size() <= idx) {
+      st.screen_locks.push_back(ctx.screen_detector().register_lock());
+    }
+    ctx.screen_detector().lock_acquired(ctx.procedure(),
+                                        st.screen_locks[idx]);
+  } else if constexpr (std::is_same_v<Ctx, rt::context>) {
+    st.mutexes[idx].lock();
+  } else {
+    (void)ctx;
+    (void)st;
+    (void)idx;
+  }
+}
+
+template <typename Ctx>
+void stress_unlock(Ctx& ctx, run_state& st, std::uint32_t idx) {
+  if constexpr (screens_locks<Ctx>) {
+    ctx.screen_detector().lock_released(ctx.procedure(),
+                                        st.screen_locks[idx]);
+  } else if constexpr (std::is_same_v<Ctx, rt::context>) {
+    st.mutexes[idx].unlock();
+  } else {
+    (void)ctx;
+    (void)st;
+    (void)idx;
+  }
+}
 
 /// What a run produced, reduced to comparable form.
 struct run_result {
@@ -130,6 +189,15 @@ void interp(Ctx& ctx, const program& p, const prog_node& n, run_state& st) {
             }
           },
           n.grain);
+      break;
+    }
+
+    case op::lock_block: {
+      for (const std::uint32_t l : n.locks) stress_lock(ctx, st, l);
+      for (const prog_node& c : n.children) interp(ctx, p, c, st);
+      for (std::size_t i = n.locks.size(); i-- > 0;) {
+        stress_unlock(ctx, st, n.locks[i]);
+      }
       break;
     }
 

@@ -9,6 +9,8 @@
 #include "cilkscreen/report.hpp"
 #include "cilkview/profile.hpp"
 #include "dag/analysis.hpp"
+#include "lint/analyzer.hpp"
+#include "lint/report.hpp"
 #include "runtime/task_pool.hpp"
 #include "sim/machine.hpp"
 
@@ -216,10 +218,17 @@ void stress_harness::run_case(const stress_case& c, fuzz_report& rep) {
   }
 
   // --- Cilkscreen: identical results and ZERO reports (the generator only
-  // emits race-free programs).
+  // emits race-free programs). With the lint layer compiled in, a lint
+  // analyzer rides along on the same run: generated programs are also
+  // well-disciplined by construction (disjoint lock pools — see
+  // program.hpp), so any lint record is a bug too.
   {
     run_state scr_st(p);
     screen::detector d;
+#if CILKPP_LINT_ENABLED
+    screen::detector::lint_analyzer la;
+    d.attach_lint(&la);
+#endif
     screen::run_under_detector(d, [&](screen::screen_context& ctx) {
       interp(ctx, p, p.root, scr_st);
     });
@@ -232,6 +241,21 @@ void stress_harness::run_case(const stress_case& c, fuzz_report& rep) {
            fmt("%zu report(s) on a race-free program:\n%s", d.races().size(),
                screen::render_races(d.races(), d.procedures()).c_str()));
     }
+#if CILKPP_LINT_ENABLED
+    la.finish();
+    if (!la.clean()) {
+      fail("screen-lint",
+           fmt("%zu lint report(s) on a well-disciplined program:\n%s",
+               la.records().size(),
+               lint::render_lints(la.records(), d.procedures()).c_str()));
+    }
+    if (d.stats().unmatched_releases != 0) {
+      fail("screen-lint",
+           fmt("%llu unmatched release(s) on a balanced program",
+               static_cast<unsigned long long>(
+                   d.stats().unmatched_releases)));
+    }
+#endif
   }
 
   // --- Threaded runtime under chaos. ---

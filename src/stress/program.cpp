@@ -1,6 +1,8 @@
 #include "stress/program.hpp"
 
 #include <cstdio>
+#include <initializer_list>
+#include <utility>
 
 namespace cilkpp::stress {
 
@@ -86,6 +88,41 @@ void gen_children(gen_state& g, prog_node& n, unsigned count, unsigned depth) {
   for (unsigned i = 0; i < count; ++i) n.children.push_back(gen_tree(g, depth));
 }
 
+/// A critical section: acquire `locks` in order, run 1–2 work leaves
+/// inside, release in reverse. Children are ALWAYS plain work leaves — a
+/// spawn or sync inside would be a held-across-boundary lint by
+/// definition, and generated programs must stay lint-clean. Lock choice
+/// follows the disjoint-pool discipline documented in program.hpp.
+prog_node make_lock_block(gen_state& g, unsigned depth) {
+  prog_node n;
+  n.kind = op::lock_block;
+  n.id = g.next_id++;
+  if (g.rng.below(2) == 0) {
+    // Ordered pool: a contiguous ascending run inside {0..3}, size 1–3 —
+    // nested locking with a globally consistent order.
+    const std::uint32_t count = 1 + static_cast<std::uint32_t>(g.rng.below(3));
+    const std::uint32_t start =
+        static_cast<std::uint32_t>(g.rng.below(4 - count + 1));
+    for (std::uint32_t i = 0; i < count; ++i) n.locks.push_back(start + i);
+  } else {
+    // Gate pattern: the gate first, then gated locks in a random order —
+    // inconsistent ordering that the gate makes harmless.
+    n.locks.push_back(stress_gate_lock);
+    switch (g.rng.below(4)) {
+      case 0: n.locks.push_back(5); break;
+      case 1: n.locks.push_back(6); break;
+      case 2: n.locks.push_back(5); n.locks.push_back(6); break;
+      default: n.locks.push_back(6); n.locks.push_back(5); break;
+    }
+  }
+  const unsigned leaves = 1 + static_cast<unsigned>(g.rng.below(2));
+  for (unsigned i = 0; i < leaves; ++i) n.children.push_back(make_work(g));
+  ++g.p->num_lock_blocks;
+  g.p->num_locks = stress_lock_count;
+  note_depth(g, depth);
+  return n;
+}
+
 prog_node gen_tree(gen_state& g, unsigned depth) {
   if (g.budget > 0) --g.budget;
   const bool leaf_only = g.budget == 0 || depth >= max_frame_depth;
@@ -93,21 +130,23 @@ prog_node gen_tree(gen_state& g, unsigned depth) {
   if (pick < 22) return make_work(g);
   if (pick < 30) return make_pfor(g, depth);
 
+  if (pick >= 84 && pick < 93) return make_lock_block(g, depth);
+
   prog_node n;
   n.id = g.next_id++;
-  if (pick < 45) {  // seq: stays in the current frame
+  if (pick < 44) {  // seq: stays in the current frame
     n.kind = op::seq;
     gen_children(g, n, 2 + static_cast<unsigned>(g.rng.below(3)), depth);
-  } else if (pick < 70) {  // spawn_block
+  } else if (pick < 67) {  // spawn_block
     n.kind = op::spawn_block;
     const unsigned width = 2 + static_cast<unsigned>(g.rng.below(3));
     ++g.p->num_spawn_blocks;
     note_width(g, width);
     gen_children(g, n, width, depth + 1);
-  } else if (pick < 85) {  // call_block
+  } else if (pick < 79) {  // call_block
     n.kind = op::call_block;
     gen_children(g, n, 1, depth + 1);
-  } else if (pick < 92) {  // sync_extra
+  } else if (pick < 84) {  // sync_extra
     n.kind = op::sync_extra;
   } else {  // throw_last
     n.kind = op::throw_last;
@@ -159,6 +198,16 @@ void describe_node(const prog_node& n, unsigned indent, std::string& out) {
       std::snprintf(buf, sizeof(buf), "throw#%u width=%zu mark=%u\n", n.id,
                     n.children.size(), n.throw_index);
       break;
+    case op::lock_block: {
+      std::string ids;
+      for (const std::uint32_t l : n.locks) {
+        if (!ids.empty()) ids += ' ';
+        ids += std::to_string(l);
+      }
+      std::snprintf(buf, sizeof(buf), "lock#%u locks=[%s]\n", n.id,
+                    ids.c_str());
+      break;
+    }
   }
   out += buf;
   for (const prog_node& c : n.children) describe_node(c, indent + 1, out);
@@ -186,19 +235,101 @@ program generate_program(std::uint64_t seed, unsigned size_budget) {
 }
 
 std::string program::describe() const {
-  char head[224];
+  char head[240];
   std::snprintf(head, sizeof(head),
                 "program seed=%llu size=%u: work=%u pfor=%u cells=%u "
-                "throws=%u spawn-blocks=%u width=%u depth=%u%s%s "
-                "expected-work=%llu\n",
+                "throws=%u spawn-blocks=%u lock-blocks=%u width=%u "
+                "depth=%u%s%s%s expected-work=%llu\n",
                 static_cast<unsigned long long>(seed), size, num_work,
                 num_pfor, num_cells, num_throws, num_spawn_blocks,
-                max_spawn_width, max_depth, uses_radd ? " +radd" : "",
-                uses_rlist ? " +rlist" : "",
+                num_lock_blocks, max_spawn_width, max_depth,
+                uses_radd ? " +radd" : "", uses_rlist ? " +rlist" : "",
+                planted ? " PLANTED" : "",
                 static_cast<unsigned long long>(expected_work));
   std::string out = head;
   describe_node(root, 1, out);
   return out;
+}
+
+namespace {
+
+/// Shared scaffolding for the hand-built planted programs: fixed seed,
+/// planted flag, full lock table, counters kept consistent by hand.
+program planted_skeleton(std::uint64_t seed) {
+  program p;
+  p.seed = seed;
+  p.size = 0;
+  p.planted = true;
+  p.num_locks = stress_lock_count;
+  p.root.kind = op::seq;
+  p.root.id = 0;
+  p.max_spawn_width = 1;
+  return p;
+}
+
+prog_node planted_work(program& p, std::uint32_t id) {
+  prog_node w;
+  w.kind = op::work;
+  w.id = id;
+  w.cost = 1;
+  w.slot = p.num_slots++;
+  ++p.num_work;
+  p.expected_work += w.cost;
+  return w;
+}
+
+prog_node planted_lock_block(program& p, std::uint32_t id,
+                             std::initializer_list<std::uint32_t> locks) {
+  prog_node n;
+  n.kind = op::lock_block;
+  n.id = id;
+  n.locks.assign(locks.begin(), locks.end());
+  n.children.push_back(planted_work(p, id + 1));
+  ++p.num_lock_blocks;
+  return n;
+}
+
+}  // namespace
+
+program make_planted_abba(bool gated) {
+  program p = planted_skeleton(gated ? 0xABBA9A7EULL : 0xABBAULL);
+  prog_node blk;
+  blk.kind = op::spawn_block;
+  blk.id = 1;
+  // Two logically parallel siblings with opposite acquisition orders. The
+  // gated variant prefixes both with the gate lock (2 here — any common
+  // lock outside the cycle suppresses the report).
+  if (gated) {
+    blk.children.push_back(planted_lock_block(p, 2, {2, 0, 1}));
+    blk.children.push_back(planted_lock_block(p, 4, {2, 1, 0}));
+  } else {
+    blk.children.push_back(planted_lock_block(p, 2, {0, 1}));
+    blk.children.push_back(planted_lock_block(p, 4, {1, 0}));
+  }
+  ++p.num_spawn_blocks;
+  p.max_spawn_width = 2;
+  p.max_depth = 1;
+  p.root.children.push_back(std::move(blk));
+  return p;
+}
+
+program make_planted_held_across_sync() {
+  program p = planted_skeleton(0x5319CULL);
+  // A lock_block whose critical section contains an explicit sync: the
+  // held set is non-empty at a strand boundary — exactly one
+  // lock_across_sync on lock 0.
+  prog_node n;
+  n.kind = op::lock_block;
+  n.id = 1;
+  n.locks.push_back(0);
+  prog_node s;
+  s.kind = op::sync_extra;
+  s.id = 2;
+  n.children.push_back(std::move(s));
+  n.children.push_back(planted_work(p, 3));
+  ++p.num_lock_blocks;
+  p.root.children.push_back(std::move(n));
+  return p;
 }
 
 }  // namespace cilkpp::stress

@@ -31,7 +31,21 @@ enum class op : std::uint8_t {
   pfor,         ///< leaf: parallel_for over [0, iters), one cell per index
   throw_last,   ///< spawn_block whose last child throws stress_error after
                 ///  its subtree; caught right after the block's sync
+  lock_block,   ///< acquire `locks` in order, run children (work leaves)
+                ///  inside the critical section, release in reverse
 };
+
+/// Generated lock_blocks draw from two DISJOINT pools so every generated
+/// program is deadlock-free and lint-clean *by construction* (the zero-lint
+/// oracle depends on it):
+///  * the ordered pool {0..3}: always acquired in ascending id order, so
+///    lock-order edges only ever point low→high (no cycles);
+///  * the gate lock (4) plus the gated pool {5, 6}: gated locks may be
+///    taken in ANY order, but always underneath the gate — the classic
+///    gate-locked ABBA that GoodLock suppression must keep quiet (and that
+///    cannot deadlock at runtime, since the gate serializes the region).
+inline constexpr std::uint32_t stress_gate_lock = 4;
+inline constexpr std::uint32_t stress_lock_count = 7;
 
 struct prog_node {
   op kind = op::work;
@@ -44,6 +58,7 @@ struct prog_node {
   std::uint32_t throw_index = 0;  ///< throw_last: private mark index
   bool radd = false;   ///< leaf also adds into the opadd reducer
   bool rlist = false;  ///< work leaf also appends its id to the list reducer
+  std::vector<std::uint32_t> locks;  ///< lock_block: ids in acquisition order
   std::vector<prog_node> children;
 };
 
@@ -58,8 +73,16 @@ struct program {
   std::uint32_t num_work = 0;
   std::uint32_t num_pfor = 0;
   std::uint32_t num_spawn_blocks = 0;
+  std::uint32_t num_lock_blocks = 0;
+  /// Mutexes the interpreter must provide (stress_lock_count when any
+  /// lock_block exists, else 0).
+  std::uint32_t num_locks = 0;
   bool uses_radd = false;
   bool uses_rlist = false;
+  /// Planted ill-disciplined program (make_planted_*): run it ONLY under
+  /// the screen engines — a planted ABBA can truly deadlock on the
+  /// threaded runtime.
+  bool planted = false;
 
   /// Σ accounted units over all leaves — what serial elision must report
   /// exactly, and a lower bound on the recorded dag's work.
@@ -83,6 +106,16 @@ struct program {
 /// Deterministically generates a random structured program of roughly
 /// `size_budget` nodes (≥ 1 work leaf always).
 program generate_program(std::uint64_t seed, unsigned size_budget);
+
+/// Hand-built ill-disciplined programs for the lint differential oracle
+/// (program.planted is set — screen engines only, see above).
+/// Two parallel siblings acquire locks {0,1} and {1,0}: a genuine
+/// potential deadlock the analyzer must report as exactly one
+/// deadlock_cycle. With `gated`, both blocks first take the gate lock, and
+/// the analyzer must report NOTHING (GoodLock gate suppression).
+program make_planted_abba(bool gated);
+/// One lock held across an explicit sync: exactly one lock_across_sync.
+program make_planted_held_across_sync();
 
 /// Deterministic 64-bit contribution of (program seed, node, lane): the
 /// value a leaf writes into its slot/cell/reducer. Pure function of its

@@ -110,6 +110,25 @@ TEST(Detector, Figure6MutexProtectedWalkIsQuiet) {
   EXPECT_GT(d.stats().races_lock_suppressed, 0u);
 }
 
+// Regression: a release with no matching acquisition used to hit
+// CILKPP_UNREACHABLE and abort the process; it is now counted (and, with a
+// lint analyzer attached, reported) while detection continues unharmed.
+TEST(Detector, DoubleReleaseNoLongerAborts) {
+  detector d;
+  cell<int> shared(0);
+  screen_mutex L(d);
+  run_under_detector(d, [&](screen_context& ctx) {
+    L.lock(ctx);
+    L.unlock(ctx);
+    L.unlock(ctx);  // unmatched
+    ctx.spawn([&](screen_context& c) { shared.set(c, 1); });
+    ctx.sync();
+    shared.get(ctx);
+  });
+  EXPECT_EQ(d.stats().unmatched_releases, 1u);
+  EXPECT_FALSE(d.found_races());  // detection kept working past it
+}
+
 TEST(Detector, DifferentLocksDoNotSuppress) {
   detector d;
   cell<int> shared(0, "shared");

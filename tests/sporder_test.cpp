@@ -120,6 +120,24 @@ TEST(OrderDetector, MutexSuppressesCommonLockRaces) {
   EXPECT_GT(d.stats().races_lock_suppressed, 0u);
 }
 
+// Regression: an unmatched release used to hit CILKPP_UNREACHABLE and abort
+// the process; it is now counted while detection continues unharmed.
+TEST(OrderDetector, DoubleReleaseNoLongerAborts) {
+  order_detector d;
+  cell<int> shared(0);
+  order_mutex L(d);
+  run_under_detector(d, [&](order_context& ctx) {
+    L.lock(ctx);
+    L.unlock(ctx);
+    L.unlock(ctx);  // unmatched
+    ctx.spawn([&](order_context& c) { shared.set(c, 1); });
+    ctx.sync();
+    shared.get(ctx);
+  });
+  EXPECT_EQ(d.stats().unmatched_releases, 1u);
+  EXPECT_FALSE(d.found_races());
+}
+
 TEST(OrderDetector, CalledFrameIsSerial) {
   order_detector d;
   cell<int> shared(0);

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <thread>
 
+#include "lint/analyzer.hpp"
 #include "runtime/scheduler.hpp"
 #include "stress/chaos.hpp"
 #include "stress/interp.hpp"
@@ -73,6 +74,49 @@ TEST(Generator, MetadataConsistent) {
   }
 }
 
+TEST(Generator, LockBlocksFollowThePoolDiscipline) {
+  bool any = false, ordered_nested = false, gated = false;
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    const program p = generate_program(seed, 16);
+    std::uint32_t blocks = 0;
+    std::vector<const prog_node*> stack{&p.root};
+    while (!stack.empty()) {
+      const prog_node* n = stack.back();
+      stack.pop_back();
+      for (const prog_node& c : n->children) stack.push_back(&c);
+      if (n->kind != op::lock_block) continue;
+      ++blocks;
+      any = true;
+      ASSERT_FALSE(n->locks.empty()) << seed;
+      // Critical sections hold only plain work leaves (anything else would
+      // be a held-across-boundary lint, and generated programs must stay
+      // lint-clean for the zero-lint oracle).
+      for (const prog_node& c : n->children) {
+        EXPECT_EQ(c.kind, op::work) << seed;
+      }
+      if (n->locks.front() == stress_gate_lock) {
+        gated = true;
+        for (std::size_t i = 1; i < n->locks.size(); ++i) {
+          EXPECT_TRUE(n->locks[i] == 5 || n->locks[i] == 6) << seed;
+        }
+      } else {
+        if (n->locks.size() >= 2) ordered_nested = true;
+        for (std::size_t i = 0; i < n->locks.size(); ++i) {
+          EXPECT_LT(n->locks[i], stress_gate_lock) << seed;
+          if (i > 0) {
+            EXPECT_EQ(n->locks[i], n->locks[i - 1] + 1) << seed;
+          }
+        }
+      }
+    }
+    EXPECT_EQ(blocks, p.num_lock_blocks) << seed;
+    EXPECT_EQ(p.num_locks, blocks > 0 ? stress_lock_count : 0u) << seed;
+  }
+  EXPECT_TRUE(any);
+  EXPECT_TRUE(ordered_nested);
+  EXPECT_TRUE(gated);
+}
+
 // --- Engine-generic interpreter (no scheduler involved). ---
 
 TEST(Interp, SerialMatchesGeneratorExpectations) {
@@ -112,6 +156,53 @@ TEST(Interp, RecorderAndScreenMatchElision) {
     EXPECT_FALSE(d.found_races()) << seed;
   }
 }
+
+#if CILKPP_LINT_ENABLED
+
+// --- Planted ill-disciplined programs: the lint differential oracle's
+// positive controls. Screen engines only (program.planted — a real ABBA
+// can genuinely deadlock the threaded runtime). ---
+
+template <typename D>
+std::vector<lint::lint_record> lint_planted(const program& p) {
+  run_state st(p);
+  D d;
+  typename D::lint_analyzer la;
+  d.attach_lint(&la);
+  screen::run_under_detector(d, [&](screen::basic_screen_context<D>& ctx) {
+    interp(ctx, p, p.root, st);
+  });
+  la.finish();
+  return la.records();
+}
+
+template <typename D>
+void check_planted_programs() {
+  const program abba = make_planted_abba(/*gated=*/false);
+  ASSERT_TRUE(abba.planted);
+  const auto reports = lint_planted<D>(abba);
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].kind, lint::lint_kind::deadlock_cycle);
+  EXPECT_EQ(reports[0].cycle, (std::vector<screen::lock_id>{0, 1}));
+
+  // Same opposite orders underneath a common gate: suppressed.
+  EXPECT_TRUE(lint_planted<D>(make_planted_abba(/*gated=*/true)).empty());
+
+  const auto held = lint_planted<D>(make_planted_held_across_sync());
+  ASSERT_EQ(held.size(), 1u);
+  EXPECT_EQ(held[0].kind, lint::lint_kind::lock_across_sync);
+  EXPECT_EQ(held[0].lock, 0u);
+}
+
+TEST(PlantedPrograms, LintVerdictsUnderSpBags) {
+  check_planted_programs<screen::detector>();
+}
+
+TEST(PlantedPrograms, LintVerdictsUnderSpOrder) {
+  check_planted_programs<screen::order_detector>();
+}
+
+#endif  // CILKPP_LINT_ENABLED
 
 // --- Chaos policy. ---
 
