@@ -10,9 +10,13 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "runtime/scheduler.hpp"
 #include "runtime/serial.hpp"
+#include "support/stats.hpp"
 #include "support/timing.hpp"
 #include "workloads/fib.hpp"
 #include "workloads/qsort.hpp"
@@ -119,6 +123,53 @@ void BM_qsort_one_worker(benchmark::State& state) {
 }
 BENCHMARK(BM_qsort_one_worker)->Arg(1 << 20);
 
+/// Console output as usual, plus a mirror of every run into
+/// BENCH_serial_overhead.json (support/stats' json_writer) so E6 numbers are
+/// machine-readable without parsing benchmark's console format.
+class json_mirror_reporter final : public benchmark::ConsoleReporter {
+ public:
+  struct row {
+    std::string name;
+    std::int64_t iterations;
+    double real_ns;
+    double cpu_ns;
+  };
+  std::vector<row> rows;
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& r : reports) {
+      if (r.error_occurred) continue;
+      rows.push_back({r.benchmark_name(), r.iterations, r.GetAdjustedRealTime(),
+                      r.GetAdjustedCPUTime()});
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  json_mirror_reporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  cilkpp::json_writer w;
+  w.begin_object();
+  w.field("benchmark", "serial_overhead");
+  w.key("runs");
+  w.begin_array();
+  for (const auto& r : reporter.rows) {
+    w.begin_object();
+    w.field("name", r.name);
+    w.field("iterations", r.iterations);
+    w.field("real_ns", r.real_ns);
+    w.field("cpu_ns", r.cpu_ns);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  std::ofstream("BENCH_serial_overhead.json") << w.take();
+  return 0;
+}

@@ -1,0 +1,214 @@
+// E6 companion: direct measurement of the lock-free spawn/join fast path
+// (DESIGN.md §4). Where bench_serial_overhead measures whole programs under
+// google-benchmark, this binary times the runtime primitives themselves and
+// publishes a machine-readable artifact — BENCH_spawn_path.json — that CI's
+// perf-smoke job archives and sanity-checks:
+//
+//   * pair_ns          one empty cilk_spawn + cilk_sync, 1 worker
+//   * spawn throughput spawns/s at P = 1 and P = hardware_concurrency
+//                      (fib with cutoff 0: pure spawn machinery), plus a
+//                      wide parallel_for leg at P = max(2, hw) that keeps
+//                      several workers hammering the join path at once
+//   * pool reuse rate  fraction of task allocations served from the
+//                      thread-local freelists (the intrusive task_pool)
+//
+// The thresholds at the bottom are deliberately loose — an order of
+// magnitude above today's numbers — so the job catches "the fast path grew
+// a lock back" regressions, not scheduler noise on shared CI runners.
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <thread>
+
+#include "runtime/parallel_for.hpp"
+#include "runtime/scheduler.hpp"
+#include "runtime/task_pool.hpp"
+#include "support/stats.hpp"
+#include "support/timing.hpp"
+#include "workloads/fib.hpp"
+
+namespace {
+
+using cilkpp::rt::context;
+using cilkpp::rt::scheduler;
+
+/// Best-of-`reps` time for one spawn+sync pair, measured over batches big
+/// enough to swamp the clock. Best-of (not mean) because every perturbation
+/// — IRQ, sibling CI job, frequency ramp — only ever adds time.
+double measure_pair_ns() {
+  constexpr std::size_t batch = 200'000;
+  constexpr int reps = 5;
+  scheduler sched(1);
+  double best = 1e30;
+  sched.run([&](context& ctx) {
+    for (std::size_t i = 0; i < 10'000; ++i) {  // warm pool + arena chunks
+      ctx.spawn([](context&) {});
+      ctx.sync();
+    }
+    for (int r = 0; r < reps; ++r) {
+      cilkpp::stopwatch sw;
+      for (std::size_t i = 0; i < batch; ++i) {
+        ctx.spawn([](context&) {});
+        ctx.sync();
+      }
+      const double ns =
+          static_cast<double>(sw.elapsed_ns()) / static_cast<double>(batch);
+      if (ns < best) best = ns;
+    }
+  });
+  return best;
+}
+
+struct throughput {
+  unsigned workers = 0;
+  const char* workload = "";
+  std::uint64_t spawns = 0;
+  double elapsed_s = 0;
+  double spawns_per_sec() const {
+    return elapsed_s > 0 ? static_cast<double>(spawns) / elapsed_s : 0;
+  }
+};
+
+/// Spawn throughput of fib with cutoff 0 — every addition is a spawn, so
+/// virtually all time is the spawn/join machinery.
+throughput measure_fib_throughput(unsigned workers, unsigned n) {
+  scheduler sched(workers);
+  sched.run([n](context& ctx) {  // warmup
+    return cilkpp::workloads::fib(ctx, n > 4 ? n - 4 : n, 0);
+  });
+  sched.reset_stats();
+  cilkpp::stopwatch sw;
+  const std::uint64_t r =
+      sched.run([n](context& ctx) { return cilkpp::workloads::fib(ctx, n, 0); });
+  throughput t;
+  t.workers = sched.num_workers();
+  t.workload = "fib_cutoff0";
+  t.elapsed_s = sw.elapsed_s();
+  t.spawns = sched.stats().spawns;
+  cilkpp::do_not_optimize(r);
+  return t;
+}
+
+/// Wide flat fan-out: a parallel_for spine with grain 1 keeps one frame
+/// spawning while helpers drain the deque — the join-contention leg.
+throughput measure_wide_pfor_throughput(unsigned workers, std::uint64_t n) {
+  scheduler sched(workers);
+  std::atomic<std::uint64_t> sink{0};
+  sched.reset_stats();
+  cilkpp::stopwatch sw;
+  sched.run([&](context& ctx) {
+    cilkpp::rt::parallel_for(ctx, std::uint64_t{0}, n,
+                             [&](std::uint64_t i) {
+                               sink.fetch_add(i, std::memory_order_relaxed);
+                             },
+                             /*grain=*/1);
+  });
+  throughput t;
+  t.workers = sched.num_workers();
+  t.workload = "wide_pfor_grain1";
+  t.elapsed_s = sw.elapsed_s();
+  t.spawns = sched.stats().spawns;
+  cilkpp::do_not_optimize(sink.load());
+  return t;
+}
+
+void emit_throughput(cilkpp::json_writer& w, const throughput& t) {
+  w.begin_object();
+  w.field("workers", t.workers);
+  w.field("workload", t.workload);
+  w.field("spawns", t.spawns);
+  w.field("elapsed_s", t.elapsed_s);
+  w.field("spawns_per_sec", t.spawns_per_sec());
+  w.end_object();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = "BENCH_spawn_path.json";
+  if (argc > 1) out_path = argv[1];
+
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+
+  const auto pool_before = cilkpp::rt::task_pool_totals();
+
+  const double pair_ns = measure_pair_ns();
+  const throughput tp1 = measure_fib_throughput(1, 24);
+  const throughput tp_hw =
+      hw > 1 ? measure_fib_throughput(hw, 24) : tp1;
+  const throughput tp_wide =
+      measure_wide_pfor_throughput(hw > 2 ? hw : 2, 1u << 17);
+
+  const auto pool_after = cilkpp::rt::task_pool_totals();
+  const std::uint64_t allocs =
+      pool_after.total_allocs() - pool_before.total_allocs();
+  const std::uint64_t frees =
+      pool_after.total_frees() - pool_before.total_frees();
+  std::uint64_t reused = 0;
+  for (std::size_t c = 0; c < std::size(pool_after.classes); ++c) {
+    reused += pool_after.classes[c].reused - pool_before.classes[c].reused;
+  }
+  const double reuse_rate =
+      allocs > 0 ? static_cast<double>(reused) / static_cast<double>(allocs) : 0;
+
+  // Loose sanity thresholds (see header comment): catastrophic-only.
+  constexpr double pair_ns_max = 2000.0;
+  constexpr double reuse_rate_min = 0.5;
+  constexpr double spawns_per_sec_min = 1e5;
+  bool ok = true;
+  if (pair_ns > pair_ns_max) {
+    std::fprintf(stderr, "FAIL: pair_ns %.1f > %.1f\n", pair_ns, pair_ns_max);
+    ok = false;
+  }
+  if (reuse_rate < reuse_rate_min) {
+    std::fprintf(stderr, "FAIL: pool reuse rate %.3f < %.3f\n", reuse_rate,
+                 reuse_rate_min);
+    ok = false;
+  }
+  for (const throughput* t : {&tp1, &tp_hw, &tp_wide}) {
+    if (t->spawns_per_sec() < spawns_per_sec_min) {
+      std::fprintf(stderr, "FAIL: %s @%u workers: %.0f spawns/s < %.0f\n",
+                   t->workload, t->workers, t->spawns_per_sec(),
+                   spawns_per_sec_min);
+      ok = false;
+    }
+  }
+
+  cilkpp::json_writer w;
+  w.begin_object();
+  w.field("benchmark", "spawn_path");
+  w.field("hardware_concurrency", hw);
+  w.field("pair_ns", pair_ns);
+  w.key("throughput");
+  w.begin_array();
+  emit_throughput(w, tp1);
+  if (hw > 1) emit_throughput(w, tp_hw);
+  emit_throughput(w, tp_wide);
+  w.end_array();
+  w.key("task_pool");
+  w.begin_object();
+  w.field("allocs", allocs);
+  w.field("frees", frees);
+  w.field("reused", reused);
+  w.field("reuse_rate", reuse_rate);
+  w.end_object();
+  w.key("thresholds");
+  w.begin_object();
+  w.field("pair_ns_max", pair_ns_max);
+  w.field("reuse_rate_min", reuse_rate_min);
+  w.field("spawns_per_sec_min", spawns_per_sec_min);
+  w.field("passed", ok);
+  w.end_object();
+  w.end_object();
+
+  const std::string doc = w.take();
+  std::ofstream out(out_path);
+  out << doc;
+  out.close();
+  std::printf("%s", doc.c_str());
+  std::printf("wrote %s\n", out_path);
+  return ok ? 0 : 1;
+}

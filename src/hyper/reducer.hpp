@@ -80,6 +80,12 @@ class reducer final : public rt::hyperobject_base {
   /// The calling strand's private view. The reference is stable until the
   /// strand's next spawn or sync; re-fetch after either so updates land in
   /// the correct fold position.
+  ///
+  /// Cost model (docs/TUTORIAL.md §12): repeat fetches within a strand hit
+  /// the frame's one-entry cache (two loads and a compare); the first fetch
+  /// after a spawn/sync scans the strand segment's flat view map — O(#
+  /// distinct reducers this strand touched), with rt::inline_view_capacity
+  /// entries stored inline before the segment spills to the heap.
   template <typename Ctx>
   value_type& view(Ctx& ctx) {
     if constexpr (routes_views<Ctx>) {

@@ -3,10 +3,28 @@
 
 #include "runtime/scheduler.hpp"
 
+// The spawn/join hot path here is entirely lock-free (DESIGN.md §4,
+// "lock-free join"). The ownership discipline that replaces the old
+// per-frame mutex:
+//
+//   * Arena STRUCTURE (append, clear/fold) is touched only by the single
+//     strand executing this frame — only it spawns, calls, syncs, or
+//     accesses reducers through this frame. Appends never move existing
+//     slots (chunked storage), so children holding slot pointers are safe.
+//   * Slot CONTENTS of a child slot are written by exactly one child —
+//     the child owns its slot exclusively from spawn until its
+//     release-decrement of pending_ publishes the writes.
+//   * The owner reads child-slot contents only in fold paths, which run
+//     strictly after wait_children observed pending_ == 0 with an acquire
+//     load. That acquire pairs with every child's release fetch_sub (RMWs
+//     extend the release sequence), ordering all slot writes before all
+//     fold reads — the exact edge the mutex used to provide, from the
+//     fence pair the counter already needed.
+
 namespace cilkpp::rt {
 
 context::context(scheduler* sched, worker* home, context* parent,
-                 std::size_t parent_slot, kind k, std::uint64_t ped_hash)
+                 frame_slot* parent_slot, kind k, std::uint64_t ped_hash)
     : sched_(sched),
       home_(home),
       parent_(parent),
@@ -19,11 +37,12 @@ context::context(scheduler* sched, worker* home, context* parent,
   if (depth_ > home_->max_frame_depth.load(std::memory_order_relaxed)) {
     home_->max_frame_depth.store(depth_, std::memory_order_relaxed);
   }
-  // Live-frame census (ctor/dtor both run on the home worker): the current
-  // count is this worker's call depth including nested helping; its peak
-  // bounds the deque depth in the stress oracle's busy-leaves check.
-  const std::uint64_t live =
-      home_->live_frames.fetch_add(1, std::memory_order_relaxed) + 1;
+  // Live-frame census (ctor/dtor both run on the home worker, so the
+  // counter is single-writer and bump_counter's load+store suffices): the
+  // current count is this worker's call depth including nested helping; its
+  // peak bounds the deque depth in the stress oracle's busy-leaves check.
+  bump_counter(home_->live_frames);
+  const std::uint64_t live = home_->live_frames.load(std::memory_order_relaxed);
   if (live > home_->peak_live_frames.load(std::memory_order_relaxed)) {
     home_->peak_live_frames.store(live, std::memory_order_relaxed);
   }
@@ -49,21 +68,19 @@ context::~context() {
     trace_record(home_, trace::event_kind::frame_end, ped_hash_);
   }
   const std::uint64_t prior =
-      home_->live_frames.fetch_sub(1, std::memory_order_relaxed);
+      home_->live_frames.load(std::memory_order_relaxed);
   CILKPP_ASSERT(prior != 0, "live-frame census underflow");
+  home_->live_frames.store(prior - 1, std::memory_order_relaxed);
 }
 
-std::size_t context::reserve_child_slot() {
-  std::lock_guard lock(mu_);
-  slots_.push_back(slot{.views = {}, .exception = nullptr, .is_child = true});
-  return slots_.size() - 1;
-}
+frame_slot* context::reserve_child_slot() { return arena_.append(true); }
 
 void context::wait_children() noexcept {
   // The paper's sync is a *local* barrier: only this frame's children are
   // awaited. While they run elsewhere, this worker helps — first its own
   // deque (deepest work, preserving the stack discipline), then stealing —
-  // rather than blocking the OS thread.
+  // rather than blocking the OS thread. The common case (no outstanding
+  // children) is one acquire load.
   chaos_perturb(home_, chaos_point::sync_enter);
   std::uint32_t idle_rounds = 0;
   while (pending_.load(std::memory_order_acquire) != 0) {
@@ -81,32 +98,51 @@ void context::wait_children() noexcept {
 }
 
 std::exception_ptr context::fold_slots() {
+  // Fast path: no child slot since the last fold means nothing to wait for
+  // and nothing to fold — without child slots the arena holds at most one
+  // owner segment (new segments are only opened when the previous slot is
+  // a child slot), which a fold would pass through unchanged. The view
+  // cache stays valid too, since no view moves.
+  if (!arena_.has_children()) return nullptr;
+  // Precondition (asserted): children all completed — their release
+  // decrements were paired by wait_children's acquire, so plain reads of
+  // slot contents below (and of child_delivered_) are ordered after the
+  // children's writes.
+  CILKPP_ASSERT(pending_.load(std::memory_order_acquire) == 0,
+                "fold_slots with children still running");
+  // Clean fast path: no child delivered views or an exception (every child
+  // slot is still pristine) and no strand segment was opened, so the fold
+  // is the identity — drop the slot structure in O(1) and keep going. This
+  // is the steady state of a spawn+sync loop without reducers.
+  if (!child_delivered_.load(std::memory_order_relaxed) &&
+      arena_.all_children()) {
+    arena_.reset_clean();
+    return nullptr;
+  }
   // Folding consumes view objects; the strand-local cache may point into a
   // consumed segment. Only the owning strand calls fold paths, so this is
   // a plain write.
   cached_hyper_ = nullptr;
-  std::lock_guard lock(mu_);
   std::exception_ptr first_exception;
   view_map folded;
-  for (slot& s : slots_) {
+  arena_.for_each([&](frame_slot& s) {
     if (s.exception && !first_exception) first_exception = s.exception;
     fold_view_maps(folded, std::move(s.views));
-  }
-  slots_.clear();
+  });
+  arena_.clear();
+  child_delivered_.store(false, std::memory_order_relaxed);
   if (!folded.empty()) {
-    slots_.push_back(slot{.views = std::move(folded), .exception = nullptr,
-                          .is_child = false});
+    arena_.append(/*is_child=*/false)->views = std::move(folded);
   }
   return first_exception;
 }
 
 view_map context::take_final_views() {
-  std::lock_guard lock(mu_);
-  if (slots_.empty()) return {};
-  CILKPP_ASSERT(slots_.size() == 1 && !slots_[0].is_child,
+  if (arena_.empty()) return {};
+  CILKPP_ASSERT(arena_.size() == 1 && !arena_.last()->is_child,
                 "take_final_views requires folded slots");
-  view_map result = std::move(slots_[0].views);
-  slots_.clear();
+  view_map result = std::move(arena_.last()->views);
+  arena_.clear();
   return result;
 }
 
@@ -135,13 +171,19 @@ void context::finish_spawned(std::exception_ptr body_exception) noexcept {
   std::exception_ptr deliver = body_exception ? body_exception : child_exception;
   view_map final_views = take_final_views();
 
-  context* parent = parent_;
-  {
-    std::lock_guard lock(parent->mu_);
-    slot& s = parent->slots_[parent_slot_];
-    CILKPP_ASSERT(s.is_child, "spawn slot mismatch");
-    s.views = std::move(final_views);
-    s.exception = deliver;
+  // Lock-free delivery: this child owns its parent-arena slot exclusively
+  // (one child per slot; the parent only appends elsewhere, never moves
+  // slots) until the release-decrement below publishes the writes to the
+  // parent's post-sync acquire.
+  frame_slot* s = parent_slot_;
+  CILKPP_ASSERT(s != nullptr && s->is_child, "spawn slot mismatch");
+  if (!final_views.empty() || deliver) {
+    if (!final_views.empty()) s->views = std::move(final_views);
+    s->exception = deliver;
+    // Tells the parent's fold that a slot has contents; without it the
+    // fold takes the clean fast path and never reads the slots. Relaxed:
+    // the release fetch_sub below publishes this store too.
+    parent_->child_delivered_.store(true, std::memory_order_relaxed);
   }
   finished_ = true;
   // frame_end must be recorded *before* the parent learns this child is
@@ -152,7 +194,7 @@ void context::finish_spawned(std::exception_ptr body_exception) noexcept {
   trace_record(home_, trace::event_kind::frame_end, ped_hash_);
   // Release so the parent's post-sync fold sees the delivered views.
   const std::uint32_t prior =
-      parent->pending_.fetch_sub(1, std::memory_order_release);
+      parent_->pending_.fetch_sub(1, std::memory_order_release);
   CILKPP_ASSERT(prior != 0, "pending child count underflow");
 }
 
@@ -161,20 +203,28 @@ void context::finish_called() {
   view_map final_views = take_final_views();
   finished_ = true;
   if (final_views.empty()) return;
+  // Owner-only: a called frame runs synchronously on the strand executing
+  // the parent, so appending to the parent's arena here is the same
+  // single-strand append as the parent's own spawns. The parent's pending
+  // children (if any) write only their own slots' contents, never the
+  // arena structure.
   context* parent = parent_;
-  std::lock_guard lock(parent->mu_);
-  if (parent->slots_.empty() || parent->slots_.back().is_child) {
-    parent->slots_.push_back(slot{});
+  frame_slot* tail = parent->arena_.last();
+  if (tail == nullptr || tail->is_child) {
+    tail = parent->arena_.append(/*is_child=*/false);
   }
   // Caller updates so far are serially before the callee's: fold left.
-  fold_view_maps(parent->slots_.back().views, std::move(final_views));
+  fold_view_maps(tail->views, std::move(final_views));
 }
 
 void context::finish_root() {
   sync();
   view_map final_views = take_final_views();
   finished_ = true;
-  for (auto& [hyper, view] : final_views) hyper->absorb_final(std::move(view));
+  for (view_map::entry& e : final_views) {
+    e.hyper->absorb_final(std::unique_ptr<view_base>(e.view));
+  }
+  final_views.detach_all();
 }
 
 void context::finish_root_abandoned() noexcept {
@@ -186,42 +236,41 @@ void context::finish_root_abandoned() noexcept {
                static_cast<std::uint32_t>(rank_), /*implicit=*/1);
   view_map final_views = take_final_views();
   finished_ = true;
-  for (auto& [hyper, view] : final_views) {
+  for (view_map::entry& e : final_views) {
+    std::unique_ptr<view_base> view(e.view);
     try {
-      hyper->absorb_final(std::move(view));
+      e.hyper->absorb_final(std::move(view));
     } catch (...) {
       // A throwing reduce during unwinding: drop this view, keep going.
     }
   }
+  final_views.detach_all();
 }
 
 std::unique_ptr<view_base> context::extract_view(hyperobject_base& h) {
   CILKPP_ASSERT(pending_.load(std::memory_order_acquire) == 0,
                 "extract_view with children still running; sync() first");
   if (std::exception_ptr ex = fold_slots()) std::rethrow_exception(ex);
-  std::lock_guard lock(mu_);
-  if (slots_.empty()) return nullptr;
-  view_map& views = slots_.back().views;
-  auto it = views.find(&h);
-  if (it == views.end()) return nullptr;
-  std::unique_ptr<view_base> out = std::move(it->second);
-  views.erase(it);
-  if (cached_hyper_ == &h) cached_hyper_ = nullptr;
+  frame_slot* tail = arena_.last();
+  if (tail == nullptr) return nullptr;
+  std::unique_ptr<view_base> out = tail->views.extract(&h);
+  if (out != nullptr && cached_hyper_ == &h) cached_hyper_ = nullptr;
   return out;
 }
 
 view_base& context::hyper_view(hyperobject_base& h) {
   if (cached_hyper_ == &h) return *cached_view_;  // strand-local fast path
-  std::lock_guard lock(mu_);
-  if (slots_.empty() || slots_.back().is_child) slots_.push_back(slot{});
-  view_map& views = slots_.back().views;
-  auto it = views.find(&h);
-  if (it == views.end()) {
-    it = views.emplace(&h, h.identity_view()).first;
+  // Owner-only: open (or reuse) the current strand segment at the arena
+  // tail. Pending children never touch the arena structure, so no lock.
+  frame_slot* tail = arena_.last();
+  if (tail == nullptr || tail->is_child) {
+    tail = arena_.append(/*is_child=*/false);
   }
+  view_base* v = tail->views.find(&h);
+  if (v == nullptr) v = tail->views.insert_new(&h, h.identity_view());
   cached_hyper_ = &h;
-  cached_view_ = it->second.get();
-  return *it->second;
+  cached_view_ = v;
+  return *v;
 }
 
 std::uint64_t context::strand_id() const { return ped_mix(ped_hash_, rank_); }

@@ -3,15 +3,15 @@
 namespace cilkpp::rt {
 
 void fold_view_maps(view_map& left, view_map&& right) {
-  for (auto& [hyper, right_view] : right) {
-    auto it = left.find(hyper);
-    if (it == left.end()) {
-      left.emplace(hyper, std::move(right_view));
+  for (view_map::entry& e : right) {
+    if (view_base* lv = left.find(e.hyper)) {
+      e.hyper->reduce_views(*lv, *e.view);
+      delete e.view;
     } else {
-      hyper->reduce_views(*it->second, *right_view);
+      left.insert_new(e.hyper, std::unique_ptr<view_base>(e.view));
     }
   }
-  right.clear();
+  right.detach_all();
 }
 
 }  // namespace cilkpp::rt

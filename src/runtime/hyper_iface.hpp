@@ -8,8 +8,10 @@
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
-#include <vector>
+#include <utility>
+
+#include "support/assert.hpp"
+#include "support/small_vector.hpp"
 
 namespace cilkpp::rt {
 
@@ -41,9 +43,94 @@ struct hyperobject_base {
   virtual void absorb_final(std::unique_ptr<view_base> final_view) = 0;
 };
 
+/// How many (hyperobject, view) pairs a strand segment stores before its
+/// view map spills to the heap. Almost every strand touches 0–2 reducers
+/// (docs/TUTORIAL.md's tuning section); a spawn that never touches one
+/// constructs nothing at all.
+inline constexpr std::size_t inline_view_capacity = 2;
+
 /// Views of every hyperobject touched by one strand segment, keyed by
 /// hyperobject identity.
-using view_map = std::unordered_map<hyperobject_base*, std::unique_ptr<view_base>>;
+///
+/// This used to be a std::unordered_map, which default-constructs buckets —
+/// a heap allocation and a hash on every spawn whether or not the strand
+/// ever sees a reducer. Strands touch so few distinct hyperobjects that a
+/// flat array with a linear scan wins on every axis: a default-constructed
+/// map is just zeroed inline bytes, lookup is a couple of pointer compares,
+/// and iteration order is insertion order (first-touch serial order), which
+/// is deterministic where the hash map's order was not. Entries own their
+/// views as raw pointers (small_vector requires trivially copyable elements);
+/// the map is therefore move-only and deletes views in clear()/its dtor.
+class view_map {
+ public:
+  struct entry {
+    hyperobject_base* hyper;
+    view_base* view;  ///< owned by the map
+  };
+
+  view_map() = default;
+  view_map(const view_map&) = delete;
+  view_map& operator=(const view_map&) = delete;
+
+  view_map(view_map&& other) noexcept : entries_(std::move(other.entries_)) {}
+  view_map& operator=(view_map&& other) noexcept {
+    if (this != &other) {
+      clear();
+      entries_ = std::move(other.entries_);
+    }
+    return *this;
+  }
+
+  ~view_map() { clear(); }
+
+  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+
+  /// The view registered for h, or null.
+  view_base* find(const hyperobject_base* h) const {
+    for (const entry& e : entries_) {
+      if (e.hyper == h) return e.view;
+    }
+    return nullptr;
+  }
+
+  /// Registers a view for a hyperobject not present yet; returns it.
+  view_base* insert_new(hyperobject_base* h, std::unique_ptr<view_base> v) {
+    CILKPP_ASSERT(find(h) == nullptr, "duplicate view for hyperobject");
+    entries_.push_back(entry{h, v.get()});
+    return v.release();
+  }
+
+  /// Removes and returns ownership of h's view (null if absent).
+  std::unique_ptr<view_base> extract(const hyperobject_base* h) {
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      if (entries_[i].hyper == h) {
+        std::unique_ptr<view_base> out(entries_[i].view);
+        entries_.swap_remove(i);
+        return out;
+      }
+    }
+    return nullptr;
+  }
+
+  /// Destroys every view and empties the map.
+  void clear() {
+    for (entry& e : entries_) delete e.view;
+    entries_.clear();
+  }
+
+  /// Empties the map WITHOUT destroying views — for callers that moved the
+  /// view pointers' ownership elsewhere (fold_view_maps, absorb loops).
+  void detach_all() { entries_.clear(); }
+
+  entry* begin() { return entries_.begin(); }
+  entry* end() { return entries_.end(); }
+  const entry* begin() const { return entries_.begin(); }
+  const entry* end() const { return entries_.end(); }
+
+ private:
+  small_vector<entry, inline_view_capacity> entries_;
+};
 
 /// left := reduce(left, right) pointwise over hyperobjects; views present
 /// only on the right move over unchanged (identity on the left elides a

@@ -32,8 +32,21 @@ scheduler::scheduler(unsigned workers) {
 
 scheduler::~scheduler() {
   shutdown_.store(true, std::memory_order_release);
+  // Bump the wake epoch under the lock so a worker between its epoch
+  // capture and its wait cannot miss the shutdown notification.
+  {
+    std::lock_guard lock(idle_mu_);
+    ++wake_epoch_;
+  }
   idle_cv_.notify_all();
   for (std::thread& t : threads_) t.join();
+}
+
+bool scheduler::any_work() const {
+  for (const auto& w : workers_) {
+    if (w->deque.size_estimate() > 0) return true;
+  }
+  return false;
 }
 
 void scheduler::worker_main(unsigned id) {
@@ -43,13 +56,40 @@ void scheduler::worker_main(unsigned id) {
     // With no run in flight there is nothing to steal: don't spin probing
     // (it would burn CPU and pollute the steal-attempt statistics).
     const bool active = run_active_.load(std::memory_order_acquire);
-    if (!active || !help_one(w)) {
-      // Nothing anywhere: nap until new work is pushed or shutdown.
-      idlers_.fetch_add(1, std::memory_order_relaxed);
-      std::unique_lock lock(idle_mu_);
-      idle_cv_.wait_for(lock, std::chrono::microseconds(200));
-      idlers_.fetch_sub(1, std::memory_order_relaxed);
+    if (active && help_one(w)) continue;
+
+    // Nothing anywhere: park under the register→recheck→wait protocol.
+    // Ordering argument (the fix for the lost-wakeup window): we register
+    // as an idler FIRST, capture the wake epoch, and only then re-probe
+    // the deques. push() pairs this with a seq_cst fence between its deque
+    // push and its idlers_ load, so for any concurrent push either
+    //   (a) our re-probe sees the pushed task (we skip the wait), or
+    //   (b) the pusher's idlers_ load sees our registration, and it bumps
+    //       wake_epoch_ under idle_mu_ + notifies. If the bump lands
+    //       before our epoch capture, the push is also mutex-ordered
+    //       before it and the probe finds the task; if it lands after,
+    //       the wait predicate sees the epoch move and we don't sleep.
+    // The previous code probed BEFORE registering, so a push landing in
+    // between saw idlers_ == 0, skipped the notify, and the wakeup was
+    // recovered only by the 200 µs timeout (kept below as a belt-and-
+    // braces backstop, not as the wakeup mechanism).
+    idlers_.fetch_add(1, std::memory_order_seq_cst);
+    std::uint64_t epoch;
+    {
+      std::lock_guard lock(idle_mu_);
+      epoch = wake_epoch_;
     }
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const bool saw_work = run_active_.load(std::memory_order_acquire) &&
+                          any_work();
+    if (!saw_work && !shutdown_.load(std::memory_order_acquire)) {
+      std::unique_lock lock(idle_mu_);
+      idle_cv_.wait_for(lock, std::chrono::microseconds(200), [&] {
+        return wake_epoch_ != epoch ||
+               shutdown_.load(std::memory_order_relaxed);
+      });
+    }
+    idlers_.fetch_sub(1, std::memory_order_relaxed);
   }
   set_current_worker(nullptr);
 }
@@ -64,7 +104,12 @@ bool scheduler::help_one(worker& w) {
   }
 #endif
   chaos_perturb(&w, chaos_point::pop_bottom);
-  if (std::optional<task*> t = w.deque.pop_bottom()) {
+  // A single-worker scheduler has no pool threads, hence no thief to race:
+  // the exclusive pop skips the Chase–Lev fence and last-element CAS.
+  const std::optional<task*> t = workers_.size() == 1
+                                     ? w.deque.pop_bottom_exclusive()
+                                     : w.deque.pop_bottom();
+  if (t) {
     execute(w, *t);
     return true;
   }
@@ -91,11 +136,11 @@ bool scheduler::steal_and_execute(worker& w) {
       victim = w.rng.below(n - 1);
       if (victim >= w.id) ++victim;  // uniform over workers != w
     }
-    w.steal_attempts.fetch_add(1, std::memory_order_relaxed);
+    bump_counter(w.steal_attempts);  // thief-side counters: single writer
     task* stolen = nullptr;
     if (workers_[victim]->deque.steal(stolen) == steal_result::success) {
-      w.steals.fetch_add(1, std::memory_order_relaxed);
-      w.steals_from[victim].fetch_add(1, std::memory_order_relaxed);
+      bump_counter(w.steals);
+      bump_counter(w.steals_from[victim]);
       // Thief→victim provenance: the stolen child frame, its parent, and
       // who it was taken from. parent_frame is alive (it has a pending
       // child) and its pedigree hash is immutable after construction.
@@ -111,7 +156,7 @@ bool scheduler::steal_and_execute(worker& w) {
 }
 
 void scheduler::execute(worker& w, task* t) {
-  w.tasks_executed.fetch_add(1, std::memory_order_relaxed);
+  bump_counter(w.tasks_executed);  // w is the executing worker: single writer
   chaos_perturb(&w, chaos_point::task_run);
   t->execute();
   destroy_task(t);
@@ -126,7 +171,21 @@ void scheduler::push(worker& w, task* t) {
     w.peak_deque.store(depth, std::memory_order_relaxed);
   }
   chaos_perturb(&w, chaos_point::spawn_push);
-  if (idlers_.load(std::memory_order_relaxed) > 0) idle_cv_.notify_one();
+  if (workers_.size() > 1) {
+    // Wake half of the register→recheck→wait protocol (see worker_main).
+    // The fence orders the deque push before the idlers_ load — the
+    // Dekker-style edge that guarantees a parker either sees the task or
+    // is seen here. A single-worker scheduler skips all of it: there is
+    // nobody to wake, and the spawn fast path stays fence-free.
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (idlers_.load(std::memory_order_relaxed) > 0) {
+      {
+        std::lock_guard lock(idle_mu_);
+        ++wake_epoch_;
+      }
+      idle_cv_.notify_one();
+    }
+  }
 }
 
 worker_stats scheduler::stats() const {

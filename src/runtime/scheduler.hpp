@@ -43,6 +43,7 @@
 #include "deque/chase_lev.hpp"
 #include "runtime/task_pool.hpp"
 #include "runtime/hyper_iface.hpp"
+#include "runtime/slot_arena.hpp"
 #include "support/assert.hpp"
 #include "support/cache.hpp"
 #include "support/rng.hpp"
@@ -96,7 +97,7 @@ class chaos_policy {
 /// A spawned child waiting in a deque. Allocated at spawn, freed after
 /// execution by the worker that ran it.
 struct task {
-  task(context* parent, std::size_t slot, std::uint64_t ped)
+  task(context* parent, frame_slot* slot, std::uint64_t ped)
       : parent_frame(parent), parent_slot(slot), child_ped_hash(ped) {}
   virtual ~task() = default;
   /// Runs the child on the calling worker and delivers its results
@@ -104,7 +105,10 @@ struct task {
   virtual void execute() = 0;
 
   context* parent_frame;
-  std::size_t parent_slot;
+  /// The child's slot in the parent's arena. Stable for the child's whole
+  /// life (slot_arena never moves slots), and exclusively the child's to
+  /// write until its release-decrement of the parent's pending count.
+  frame_slot* parent_slot;
   std::uint64_t child_ped_hash;  ///< pedigree prefix captured at spawn time
   std::uint32_t alloc_size = 0;  ///< block size for the task pool
 };
@@ -204,6 +208,14 @@ struct worker {
 #endif
 };
 
+/// Bumps a single-writer statistics counter. Every worker counter below is
+/// written only by its owning worker (snapshot/reset require quiescence), so
+/// a plain load+store is race-free and avoids the lock-prefixed RMW a
+/// fetch_add would put on the spawn/sync hot path.
+inline void bump_counter(std::atomic<std::uint64_t>& c) {
+  c.store(c.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+}
+
 /// Records one trace event on w's ring, if a trace session is attached.
 /// Costs a single load+branch when tracing is idle; compiles to nothing
 /// when tracing is compiled out (CILKPP_TRACE_ENABLED=0).
@@ -297,16 +309,7 @@ class context {
 
   enum class kind : std::uint8_t { root, spawned, called };
 
-  /// Either one strand segment's reducer views, or a completed child's
-  /// folded result; slot order is serial execution order (Sec. 5's ordered
-  /// reduction depends on folding these strictly left to right).
-  struct slot {
-    view_map views;
-    std::exception_ptr exception;  // child slots only
-    bool is_child = false;
-  };
-
-  context(scheduler* sched, worker* home, context* parent, std::size_t parent_slot,
+  context(scheduler* sched, worker* home, context* parent, frame_slot* parent_slot,
           kind k, std::uint64_t ped_hash);
 
   /// Deterministic pedigree chaining: the child born at rank r of a frame
@@ -316,8 +319,9 @@ class context {
     return splitmix64(state);
   }
 
-  /// Allocates a child slot; returns its index (stable under growth).
-  std::size_t reserve_child_slot();
+  /// Owner-only: appends a child slot to the arena and returns its address
+  /// (stable under growth — chunks are linked, never reallocated).
+  frame_slot* reserve_child_slot();
 
   /// Helps until all spawned children have completed (never throws).
   void wait_children() noexcept;
@@ -354,10 +358,13 @@ class context {
     cached_hyper_ = nullptr;
   }
 
+  // --- Owner-only fields: written exclusively by the strand executing
+  // this frame. No lock anywhere on the spawn/join path — see DESIGN.md §4
+  // ("lock-free join") for the ownership and fence argument.
   scheduler* sched_;
   worker* home_;
   context* parent_;
-  std::size_t parent_slot_;
+  frame_slot* parent_slot_;
   kind kind_;
   std::uint64_t depth_;
   std::uint64_t ped_hash_;  // hash of this frame's pedigree prefix
@@ -365,14 +372,25 @@ class context {
   std::uint64_t draws_ = 0; // dprng draws on the current strand
   bool finished_ = false;
   // Strand-local view cache: repeat accesses to the same reducer within a
-  // strand skip the lock and the hash lookup. Safe because a view object
-  // is heap-stable and only this frame's strand mutates the segment map;
+  // strand skip the flat-map scan. Safe because a view object is
+  // heap-stable and only this frame's strand mutates the segment map;
   // bump_rank() clears it at every spawn/sync.
   hyperobject_base* cached_hyper_ = nullptr;
   view_base* cached_view_ = nullptr;
-  std::atomic<std::uint32_t> pending_{0};
-  std::mutex mu_;            // guards slots_ (uncontended except at child completion)
-  std::vector<slot> slots_;
+  // Slot storage: structure (append/clear) is owner-only; a completing
+  // child writes only the contents of its own slot.
+  slot_arena arena_;
+  // --- Cross-worker fields, on their own cache line: completing children
+  // write these from arbitrary workers while the owner spins on pending_
+  // in wait_children. Padding them keeps that contention off the
+  // owner-hot fields above.
+  alignas(cache_line_size) std::atomic<std::uint32_t> pending_{0};
+  /// Set (relaxed) by any completing child that delivered reducer views or
+  /// an exception into its slot; published by the same release-decrement of
+  /// pending_ that publishes the slot contents. While it stays false, the
+  /// post-sync fold knows every child slot is still pristine and skips the
+  /// fold walk entirely (fold_slots' clean fast path).
+  std::atomic<bool> child_delivered_{false};
 };
 
 /// The work-stealing scheduler. Owns P workers; P-1 pool threads plus the
@@ -435,6 +453,10 @@ class scheduler {
   bool steal_and_execute(worker& w);
   void execute(worker& w, task* t);
   void push(worker& w, task* t);
+  /// Racy probe: true if any worker's deque looks non-empty. Used by the
+  /// idle-parking recheck; exactness is provided by the protocol's fences,
+  /// not by this estimate.
+  bool any_work() const;
 
   static worker* current_worker();
   static void set_current_worker(worker* w);
@@ -444,10 +466,16 @@ class scheduler {
   std::atomic<bool> shutdown_{false};
   std::atomic<bool> run_active_{false};
 
-  // Idle parking: workers nap briefly when the whole system looks empty.
+  // Idle parking: workers nap when the whole system looks empty, under the
+  // register→recheck→wait protocol (see worker_main): a worker increments
+  // idlers_ BEFORE its final probe, and a pusher that sees idlers_ > 0
+  // bumps wake_epoch_ under idle_mu_ and notifies — so a push can never
+  // fall between a worker's last probe and its wait without either the
+  // probe seeing the task or the waiter seeing the epoch move.
   std::atomic<std::uint32_t> idlers_{0};
   std::mutex idle_mu_;
   std::condition_variable idle_cv_;
+  std::uint64_t wake_epoch_ = 0;  // guarded by idle_mu_
 };
 
 // ---------------------------------------------------------------------------
@@ -455,7 +483,7 @@ class scheduler {
 
 template <typename Fn>
 struct spawn_task final : task {
-  spawn_task(context* parent, std::size_t slot, Fn f, std::uint64_t ped)
+  spawn_task(context* parent, frame_slot* slot, Fn f, std::uint64_t ped)
       : task(parent, slot, ped), fn(std::move(f)) {}
 
   void execute() override {
@@ -480,13 +508,16 @@ void context::spawn(Fn&& fn) {
   trace_record(home_, trace::event_kind::spawn, ped_hash_, child_ped,
                static_cast<std::uint32_t>(rank_));
   bump_rank();  // the continuation after this spawn is a new strand
-  const std::size_t idx = reserve_child_slot();
+  // Entirely lock-free from here: an owner-only arena append, a relaxed
+  // counter bump, a pooled (thread-local freelist) allocation, and a
+  // Chase–Lev bottom push.
+  frame_slot* slot = reserve_child_slot();
   pending_.fetch_add(1, std::memory_order_relaxed);
   using task_type = spawn_task<std::decay_t<Fn>>;
   void* mem = task_allocate(sizeof(task_type));
-  auto* t = new (mem) task_type(this, idx, std::forward<Fn>(fn), child_ped);
+  auto* t = new (mem) task_type(this, slot, std::forward<Fn>(fn), child_ped);
   t->alloc_size = sizeof(task_type);
-  home_->spawns.fetch_add(1, std::memory_order_relaxed);
+  bump_counter(home_->spawns);
   sched_->push(*home_, t);
 }
 
@@ -494,7 +525,8 @@ template <typename Fn>
 auto context::call(Fn&& fn) -> decltype(fn(std::declval<context&>())) {
   const std::uint64_t child_ped = ped_mix(ped_hash_, rank_);
   bump_rank();  // the continuation after the call is a new strand
-  context child(sched_, home_, this, /*parent_slot=*/0, kind::called, child_ped);
+  context child(sched_, home_, this, /*parent_slot=*/nullptr, kind::called,
+                child_ped);
   using result = decltype(fn(child));
   if constexpr (std::is_void_v<result>) {
     try {
@@ -529,7 +561,7 @@ auto scheduler::run(Fn&& fn) -> decltype(fn(std::declval<context&>())) {
                 "run() may not be called from a worker thread");
   set_current_worker(workers_[0].get());
 
-  context root(this, workers_[0].get(), nullptr, 0, context::kind::root,
+  context root(this, workers_[0].get(), nullptr, nullptr, context::kind::root,
                /*ped_hash=*/0x5bd1e995c11c2009ULL);
   auto cleanup = [&]() {
     set_current_worker(nullptr);

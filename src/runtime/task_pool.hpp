@@ -7,9 +7,18 @@
 // the one that allocated it — blocks simply migrate to the freeing worker's
 // list, which is fine because all blocks of a class are interchangeable).
 //
+// The free lists are intrusive: a freed block stores the next pointer in
+// its own first word (every class size is ≥ 64 bytes, and the block's
+// contents are dead after the task's destructor ran). Compared to the old
+// std::vector<void*> buckets this removes the side array — and its growth
+// reallocations — from the spawn path entirely: alloc is pop-head, free is
+// push-head, both a couple of instructions on thread-local state.
+//
 // Four size classes cover every spawn_task<Fn> the library generates
 // (lambda captures are small by construction — contexts are passed by
-// reference); larger requests fall back to operator new.
+// reference); larger requests fall back to operator new. size_class is
+// branch-free (a bit_width on the rounded size), so the common path has no
+// data-dependent branches before the freelist pop.
 //
 // The pool keeps per-class alloc/free/reuse counters (relaxed atomics: each
 // thread writes only its own lists' counters; task_pool_totals() aggregates
@@ -20,6 +29,7 @@
 // imbalance means a leaked or double-freed task.
 #pragma once
 
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <atomic>
@@ -38,11 +48,13 @@ inline constexpr std::size_t max_cached = 128;
 /// Counter row for the heap-fallback (oversized) path.
 inline constexpr std::size_t oversize_row = num_classes;
 
-inline int size_class(std::size_t size) {
-  for (std::size_t c = 0; c < num_classes; ++c) {
-    if (size <= class_sizes[c]) return static_cast<int>(c);
-  }
-  return -1;
+/// Branch-free size→class map: 0..64 → 0, 65..128 → 1, 129..256 → 2,
+/// 257..512 → 3, larger → ≥ num_classes (callers treat any class out of
+/// range as the heap fallback). `| (size == 0)` keeps size 0 in class 0
+/// without a wraparound; `| 63` floors the rounding at the smallest class.
+inline std::size_t size_class(std::size_t size) {
+  const std::size_t sz = size | static_cast<std::size_t>(size == 0);
+  return static_cast<std::size_t>(std::bit_width((sz - 1) | 63)) - 6;
 }
 
 struct free_lists;
@@ -63,8 +75,14 @@ inline pool_registry& registry() {
   return r;
 }
 
+/// A dead task block on a free list; the link lives in the block itself.
+struct free_block {
+  free_block* next;
+};
+
 struct free_lists {
-  std::vector<void*> buckets[num_classes];
+  free_block* heads[num_classes] = {};
+  std::size_t cached[num_classes] = {};  ///< list lengths, enforce max_cached
   // Written only by the owning thread, read by task_pool_totals(); the
   // +1 row counts the oversized heap-fallback path.
   std::atomic<std::uint64_t> allocs[num_classes + 1] = {};
@@ -78,8 +96,12 @@ struct free_lists {
   }
 
   ~free_lists() {
-    for (auto& bucket : buckets) {
-      for (void* p : bucket) ::operator delete(p);
+    for (free_block* head : heads) {
+      while (head != nullptr) {
+        free_block* next = head->next;
+        ::operator delete(head);
+        head = next;
+      }
     }
     pool_registry& reg = registry();
     std::lock_guard lock(reg.mu);
@@ -106,39 +128,40 @@ inline void bump(std::atomic<std::uint64_t>& counter) {
 
 /// Allocates a task block of at least `size` bytes.
 inline void* task_allocate(std::size_t size) {
-  const int c = pool_detail::size_class(size);
+  const std::size_t c = pool_detail::size_class(size);
   auto& lists = pool_detail::local_lists();
-  if (c < 0) {
+  if (c >= pool_detail::num_classes) {
     pool_detail::bump(lists.allocs[pool_detail::oversize_row]);
     return ::operator new(size);
   }
-  pool_detail::bump(lists.allocs[static_cast<std::size_t>(c)]);
-  auto& bucket = lists.buckets[c];
-  if (!bucket.empty()) {
-    pool_detail::bump(lists.reused[static_cast<std::size_t>(c)]);
-    void* p = bucket.back();
-    bucket.pop_back();
-    return p;
+  pool_detail::bump(lists.allocs[c]);
+  if (pool_detail::free_block* head = lists.heads[c]) {
+    pool_detail::bump(lists.reused[c]);
+    lists.heads[c] = head->next;
+    --lists.cached[c];
+    return head;
   }
   return ::operator new(pool_detail::class_sizes[c]);
 }
 
 /// Returns a block obtained from task_allocate with the same `size`.
 inline void task_deallocate(void* p, std::size_t size) noexcept {
-  const int c = pool_detail::size_class(size);
+  const std::size_t c = pool_detail::size_class(size);
   auto& lists = pool_detail::local_lists();
-  if (c < 0) {
+  if (c >= pool_detail::num_classes) {
     pool_detail::bump(lists.frees[pool_detail::oversize_row]);
     ::operator delete(p);
     return;
   }
-  pool_detail::bump(lists.frees[static_cast<std::size_t>(c)]);
-  auto& bucket = lists.buckets[c];
-  if (bucket.size() >= pool_detail::max_cached) {
+  pool_detail::bump(lists.frees[c]);
+  if (lists.cached[c] >= pool_detail::max_cached) {
     ::operator delete(p);
     return;
   }
-  bucket.push_back(p);
+  auto* block = static_cast<pool_detail::free_block*>(p);
+  block->next = lists.heads[c];
+  lists.heads[c] = block;
+  ++lists.cached[c];
 }
 
 /// Aggregated counters for one size class (or the oversize fallback).

@@ -1,7 +1,9 @@
 #include "support/stats.hpp"
 
 #include <algorithm>
+#include <charconv>
 #include <cmath>
+#include <cstdio>
 
 #include "support/assert.hpp"
 
@@ -80,6 +82,135 @@ double histogram::bucket_low(std::size_t i) const {
 }
 
 double histogram::bucket_high(std::size_t i) const { return bucket_low(i + 1); }
+
+void json_writer::indent() {
+  out_.push_back('\n');
+  out_.append(stack_.size() * 2, ' ');
+}
+
+void json_writer::begin_value() {
+  if (stack_.empty()) {
+    CILKPP_ASSERT(out_.empty(), "json_writer: one top-level value only");
+    return;
+  }
+  level& top = stack_.back();
+  if (top.is_object) {
+    // Inside an object every value is preceded by key(), which already did
+    // the separation; here we only consume the pending-key mark.
+    CILKPP_ASSERT(key_pending_, "json_writer: object member without key()");
+    key_pending_ = false;
+    return;
+  }
+  CILKPP_ASSERT(!key_pending_, "json_writer: key() inside an array");
+  if (top.has_items) out_.push_back(',');
+  top.has_items = true;
+  indent();
+}
+
+void json_writer::key(std::string_view k) {
+  CILKPP_ASSERT(!stack_.empty() && stack_.back().is_object,
+                "json_writer: key() outside an object");
+  CILKPP_ASSERT(!key_pending_, "json_writer: two keys in a row");
+  level& top = stack_.back();
+  if (top.has_items) out_.push_back(',');
+  top.has_items = true;
+  indent();
+  escape(k);
+  out_.append(": ");
+  key_pending_ = true;
+}
+
+void json_writer::open(char c, bool is_object) {
+  begin_value();
+  out_.push_back(c);
+  stack_.push_back({is_object, false});
+}
+
+void json_writer::close(char c, bool is_object) {
+  CILKPP_ASSERT(!stack_.empty() && stack_.back().is_object == is_object,
+                "json_writer: mismatched container close");
+  CILKPP_ASSERT(!key_pending_, "json_writer: key() without a value");
+  const bool had_items = stack_.back().has_items;
+  stack_.pop_back();
+  if (had_items) indent();
+  out_.push_back(c);
+}
+
+void json_writer::begin_object() { open('{', /*is_object=*/true); }
+void json_writer::end_object() { close('}', /*is_object=*/true); }
+void json_writer::begin_array() { open('[', /*is_object=*/false); }
+void json_writer::end_array() { close(']', /*is_object=*/false); }
+
+void json_writer::escape(std::string_view s) {
+  out_.push_back('"');
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out_.append("\\\""); break;
+      case '\\': out_.append("\\\\"); break;
+      case '\n': out_.append("\\n"); break;
+      case '\t': out_.append("\\t"); break;
+      case '\r': out_.append("\\r"); break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          out_.append(buf);
+        } else {
+          out_.push_back(ch);
+        }
+    }
+  }
+  out_.push_back('"');
+}
+
+void json_writer::value(std::string_view v) {
+  begin_value();
+  escape(v);
+}
+
+void json_writer::value(double v) {
+  if (!std::isfinite(v)) {
+    null();  // JSON has no NaN/Inf
+    return;
+  }
+  begin_value();
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  out_.append(buf, res.ptr);
+}
+
+void json_writer::value(std::int64_t v) {
+  begin_value();
+  char buf[24];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  out_.append(buf, res.ptr);
+}
+
+void json_writer::value(std::uint64_t v) {
+  begin_value();
+  char buf[24];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  out_.append(buf, res.ptr);
+}
+
+void json_writer::value(bool v) {
+  begin_value();
+  out_.append(v ? "true" : "false");
+}
+
+void json_writer::null() {
+  begin_value();
+  out_.append("null");
+}
+
+std::string json_writer::take() {
+  CILKPP_ASSERT(stack_.empty(), "json_writer: take() with open containers");
+  CILKPP_ASSERT(!key_pending_, "json_writer: take() with a dangling key");
+  out_.push_back('\n');
+  std::string result = std::move(out_);
+  out_.clear();
+  return result;
+}
 
 double histogram::percentile(double p) const {
   CILKPP_ASSERT(p >= 0.0 && p <= 1.0, "percentile fraction out of range");

@@ -1,7 +1,11 @@
-// Streaming statistics accumulators used by benchmarks and the simulator.
+// Streaming statistics accumulators used by benchmarks and the simulator,
+// plus a small JSON emitter so benchmarks can publish machine-readable
+// artifacts (BENCH_*.json) for CI to archive and compare across runs.
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <string_view>
 #include <vector>
 
 namespace cilkpp {
@@ -53,6 +57,66 @@ class histogram {
   double hi_;
   std::vector<std::uint64_t> buckets_;
   std::uint64_t total_ = 0;
+};
+
+/// Minimal streaming JSON emitter (no DOM, no dependencies): nested
+/// objects/arrays, string escaping per RFC 8259, shortest-round-trip
+/// doubles via std::to_chars (non-finite values become null — JSON has no
+/// NaN/Inf). Commas and colons are placed automatically; structural misuse
+/// (value with no key inside an object, unbalanced end_*) trips
+/// CILKPP_ASSERT. Used by the benchmarks to write BENCH_*.json.
+///
+///   json_writer w;
+///   w.begin_object();
+///   w.field("pair_ns", 62.4);
+///   w.key("workers"); w.begin_array(); w.value(1); w.value(4); w.end_array();
+///   w.end_object();
+///   std::string doc = w.take();
+class json_writer {
+ public:
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Emits the key of the next object member.
+  void key(std::string_view k);
+
+  void value(std::string_view v);
+  void value(const char* v) { value(std::string_view(v)); }
+  void value(double v);
+  void value(std::int64_t v);
+  void value(std::uint64_t v);
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void value(unsigned v) { value(static_cast<std::uint64_t>(v)); }
+  void value(bool v);
+  void null();
+
+  /// key + value in one call, for flat object members.
+  template <typename V>
+  void field(std::string_view k, V v) {
+    key(k);
+    value(v);
+  }
+
+  /// Finishes the document and returns it. The writer is reset to empty.
+  std::string take();
+
+ private:
+  struct level {
+    bool is_object;
+    bool has_items;  ///< a member was already emitted (comma needed)
+  };
+
+  void begin_value();  ///< comma/indent bookkeeping before any value
+  void open(char c, bool is_object);
+  void close(char c, bool is_object);
+  void indent();
+  void escape(std::string_view s);
+
+  std::string out_;
+  std::vector<level> stack_;
+  bool key_pending_ = false;  ///< key() emitted, awaiting its value
 };
 
 }  // namespace cilkpp

@@ -5,18 +5,22 @@
 // oversubscription shakes out interleavings.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <functional>
 #include <memory>
 #include <numeric>
 #include <cstring>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
+#include "hyper/reducer.hpp"
 #include "runtime/mutex.hpp"
 #include "runtime/parallel_for.hpp"
 #include "runtime/scheduler.hpp"
 #include "runtime/serial.hpp"
+#include "runtime/slot_arena.hpp"
 
 namespace cilkpp::rt {
 namespace {
@@ -678,6 +682,113 @@ TEST(Mutex, ContentionDetectedUnderParallelUse) {
   EXPECT_EQ(m.acquisitions(), 20000u);
   // With more than one worker the lock should have been contended at least
   // occasionally (not asserted strictly — a 1-core box may serialize).
+}
+
+// --- slot_arena: the stable-address storage under the lock-free join
+// (DESIGN.md §4). A child holds a raw frame_slot* across its whole
+// execution, so append must never move existing slots. ---
+
+TEST(SlotArena, AddressesStableAcrossGrowth) {
+  slot_arena a;
+  std::vector<frame_slot*> addrs;
+  for (int i = 0; i < 200; ++i) {
+    addrs.push_back(a.append(/*is_child=*/true));
+    // Every address handed out so far must still be the i-th slot: appends
+    // (including chunk growth) never relocate earlier slots.
+    std::vector<frame_slot*> seen;
+    if (i == 0 || i == 1 || i == 2 || i == 17 || i == 199) {
+      a.for_each([&](frame_slot& s) { seen.push_back(&s); });
+      ASSERT_EQ(seen, addrs);
+    }
+  }
+  EXPECT_EQ(a.size(), 200u);
+  EXPECT_TRUE(a.has_children());
+  EXPECT_EQ(a.last(), addrs.back());
+  // All distinct.
+  std::vector<frame_slot*> sorted = addrs;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end());
+}
+
+TEST(SlotArena, ChunksReusedAcrossEpochs) {
+  slot_arena a;
+  std::vector<frame_slot*> first_epoch;
+  for (int i = 0; i < 100; ++i) first_epoch.push_back(a.append(true));
+  a.clear();
+  EXPECT_TRUE(a.empty());
+  EXPECT_FALSE(a.has_children());
+  EXPECT_EQ(a.last(), nullptr);
+  // The next epoch walks the same inline slots and retained chunks: every
+  // append returns the identical address, with no allocator traffic.
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.append(i % 2 == 0), first_epoch[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(SlotArena, ResetCleanDropsStructureInPlace) {
+  slot_arena a;
+  std::vector<frame_slot*> addrs;
+  for (int i = 0; i < 40; ++i) addrs.push_back(a.append(true));
+  EXPECT_TRUE(a.all_children());
+  a.reset_clean();
+  EXPECT_TRUE(a.empty());
+  EXPECT_FALSE(a.has_children());
+  for (int i = 0; i < 40; ++i) {
+    frame_slot* s = a.append(false);
+    EXPECT_EQ(s, addrs[static_cast<std::size_t>(i)]);
+    EXPECT_FALSE(s->is_child);  // append refreshes the stale mark
+  }
+  EXPECT_FALSE(a.all_children());
+}
+
+// --- Wide fan-out through the lock-free join: 10^5 children of ONE frame,
+// with reducer traffic and two throwing children. Exercises chunked arena
+// growth, slot-content delivery from helpers, serial-order folding, and
+// the serially-earliest-exception rule, all in a single sync. ---
+
+TEST(WideFanout, HundredThousandChildrenReducersAndEarliestException) {
+  constexpr int n = 100'000;
+  constexpr int throw_a = 60'000;  // serially later — must lose
+  constexpr int throw_b = 25'000;  // serially earliest — must win
+  scheduler sched(4);
+  cilk::reducer<cilk::hyper::opadd<std::uint64_t>> sum;
+  try {
+    sched.run([&](context& ctx) {
+      for (int i = 0; i < n; ++i) {
+        ctx.spawn([&sum, i](context& child) {
+          sum.view(child) += 1;  // before the throw: no update may be lost
+          if (i == throw_a || i == throw_b) {
+            throw std::runtime_error("child " + std::to_string(i));
+          }
+        });
+      }
+      ctx.sync();
+    });
+    FAIL() << "expected the sync to rethrow a child exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), ("child " + std::to_string(throw_b)).c_str());
+  }
+  // finish_root_abandoned still absorbs completed strands' views.
+  EXPECT_EQ(sum.value(), static_cast<std::uint64_t>(n));
+}
+
+TEST(WideFanout, RepeatedWideSyncsReuseArenaChunks) {
+  // The steady-state of a parallel_for spine: fold, spawn wide again. The
+  // arena must reuse its chunks across epochs and the pool its blocks; the
+  // leak oracle (allocs == frees) must hold afterwards.
+  scheduler sched(2);
+  std::atomic<std::uint64_t> total{0};
+  sched.run([&](context& ctx) {
+    for (int round = 0; round < 50; ++round) {
+      for (int i = 0; i < 1000; ++i) {
+        ctx.spawn([&total](context&) {
+          total.fetch_add(1, std::memory_order_relaxed);
+        });
+      }
+      ctx.sync();
+    }
+  });
+  EXPECT_EQ(total.load(), 50'000u);
 }
 
 }  // namespace

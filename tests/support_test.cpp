@@ -1,8 +1,12 @@
-// Unit tests for src/support: rng, stats, table, small_vector.
+// Unit tests for src/support: rng, stats, json_writer, table, small_vector.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
+#include <limits>
 #include <set>
 #include <sstream>
+#include <string>
 
 #include "support/rng.hpp"
 #include "support/small_vector.hpp"
@@ -218,6 +222,106 @@ TEST(SmallVector, SwapRemoveIsOrderAgnosticErase) {
   v.swap_remove(0);
   v.swap_remove(0);
   EXPECT_TRUE(v.empty());
+}
+
+// --- json_writer: the BENCH_*.json emitter. ---
+
+TEST(JsonWriter, FlatObject) {
+  json_writer w;
+  w.begin_object();
+  w.field("name", "pair");
+  w.field("ns", 1.5);
+  w.field("iters", std::uint64_t{3});
+  w.field("ok", true);
+  w.end_object();
+  EXPECT_EQ(w.take(),
+            "{\n"
+            "  \"name\": \"pair\",\n"
+            "  \"ns\": 1.5,\n"
+            "  \"iters\": 3,\n"
+            "  \"ok\": true\n"
+            "}\n");
+}
+
+TEST(JsonWriter, NestedContainers) {
+  json_writer w;
+  w.begin_object();
+  w.key("a");
+  w.begin_array();
+  w.value(1);
+  w.begin_object();
+  w.field("b", "x");
+  w.end_object();
+  w.end_array();
+  w.end_object();
+  EXPECT_EQ(w.take(),
+            "{\n"
+            "  \"a\": [\n"
+            "    1,\n"
+            "    {\n"
+            "      \"b\": \"x\"\n"
+            "    }\n"
+            "  ]\n"
+            "}\n");
+}
+
+TEST(JsonWriter, EmptyContainersStayOnOneLine) {
+  json_writer w;
+  w.begin_object();
+  w.key("empty_arr");
+  w.begin_array();
+  w.end_array();
+  w.key("empty_obj");
+  w.begin_object();
+  w.end_object();
+  w.end_object();
+  EXPECT_EQ(w.take(),
+            "{\n"
+            "  \"empty_arr\": [],\n"
+            "  \"empty_obj\": {}\n"
+            "}\n");
+}
+
+TEST(JsonWriter, EscapesControlAndQuoteCharacters) {
+  json_writer w;
+  w.begin_object();
+  w.field("k\"ey", "a\\b\nc\td\r\x01");
+  w.end_object();
+  EXPECT_EQ(w.take(),
+            "{\n"
+            "  \"k\\\"ey\": \"a\\\\b\\nc\\td\\r\\u0001\"\n"
+            "}\n");
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  json_writer w;
+  w.begin_array();
+  w.value(std::numeric_limits<double>::quiet_NaN());
+  w.value(std::numeric_limits<double>::infinity());
+  w.value(0.25);
+  w.null();
+  w.end_array();
+  EXPECT_EQ(w.take(), "[\n  null,\n  null,\n  0.25,\n  null\n]\n");
+}
+
+TEST(JsonWriter, NegativeAndLargeIntegersRoundTrip) {
+  json_writer w;
+  w.begin_array();
+  w.value(std::int64_t{-42});
+  w.value(std::uint64_t{18446744073709551615ULL});
+  w.end_array();
+  EXPECT_EQ(w.take(), "[\n  -42,\n  18446744073709551615\n]\n");
+}
+
+TEST(JsonWriter, TakeResetsForANewDocument) {
+  json_writer w;
+  w.begin_object();
+  w.end_object();
+  EXPECT_EQ(w.take(), "{}\n");
+  w.begin_array();
+  w.value(7);
+  w.end_array();
+  EXPECT_EQ(w.take(), "[\n  7\n]\n");
 }
 
 }  // namespace

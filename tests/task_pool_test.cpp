@@ -39,6 +39,54 @@ std::uint64_t tree_sum(context& ctx, unsigned depth) {
   return a + b;
 }
 
+TEST(TaskPoolSizeClass, BranchFreeMapMatchesClassBoundaries) {
+  using pool_detail::size_class;
+  // Exact boundaries of {64, 128, 256, 512}: the branch-free bit_width
+  // formula must agree with "smallest class that fits" at every edge.
+  EXPECT_EQ(size_class(0), 0u);
+  EXPECT_EQ(size_class(1), 0u);
+  EXPECT_EQ(size_class(63), 0u);
+  EXPECT_EQ(size_class(64), 0u);
+  EXPECT_EQ(size_class(65), 1u);
+  EXPECT_EQ(size_class(128), 1u);
+  EXPECT_EQ(size_class(129), 2u);
+  EXPECT_EQ(size_class(256), 2u);
+  EXPECT_EQ(size_class(257), 3u);
+  EXPECT_EQ(size_class(512), 3u);
+  EXPECT_GE(size_class(513), pool_detail::num_classes);  // heap fallback
+  EXPECT_GE(size_class(4096), pool_detail::num_classes);
+  // Exhaustive against the reference definition over the pooled range.
+  for (std::size_t size = 0; size <= 600; ++size) {
+    std::size_t expected = pool_detail::num_classes;
+    for (std::size_t c = 0; c < pool_detail::num_classes; ++c) {
+      if (size <= pool_detail::class_sizes[c]) {
+        expected = c;
+        break;
+      }
+    }
+    EXPECT_EQ(size_class(size), expected) << "size " << size;
+  }
+}
+
+TEST(TaskPoolFreelist, IntrusiveLifoReusesBlocksInStackOrder) {
+  // The freed block itself stores the next pointer, so the list must hand
+  // blocks back newest-first with no side storage.
+  void* a = task_allocate(64);
+  void* b = task_allocate(64);
+  void* c = task_allocate(64);
+  ASSERT_NE(a, b);
+  ASSERT_NE(b, c);
+  task_deallocate(a, 64);
+  task_deallocate(b, 64);
+  task_deallocate(c, 64);
+  EXPECT_EQ(task_allocate(64), c);
+  EXPECT_EQ(task_allocate(64), b);
+  EXPECT_EQ(task_allocate(64), a);
+  task_deallocate(a, 64);
+  task_deallocate(b, 64);
+  task_deallocate(c, 64);
+}
+
 TEST(TaskPoolStats, CountsAllocsAndFreesPerClass) {
   const task_pool_stats before = snap();
   void* p = task_allocate(64);  // class 0
