@@ -222,7 +222,12 @@ void context::finish_root() {
   view_map final_views = take_final_views();
   finished_ = true;
   for (view_map::entry& e : final_views) {
-    e.hyper->absorb_final(std::unique_ptr<view_base>(e.view));
+    // Null the entry before absorb_final runs: absorb_final calls the
+    // user's reduce, which may throw, and final_views' destructor would
+    // otherwise delete the view a second time during unwinding.
+    std::unique_ptr<view_base> view(e.view);
+    e.view = nullptr;
+    e.hyper->absorb_final(std::move(view));
   }
   final_views.detach_all();
 }
@@ -238,6 +243,7 @@ void context::finish_root_abandoned() noexcept {
   finished_ = true;
   for (view_map::entry& e : final_views) {
     std::unique_ptr<view_base> view(e.view);
+    e.view = nullptr;  // sole owner is now `view`; no double free on throw
     try {
       e.hyper->absorb_final(std::move(view));
     } catch (...) {

@@ -113,7 +113,9 @@ class view_map {
     return nullptr;
   }
 
-  /// Destroys every view and empties the map.
+  /// Destroys every view and empties the map. Tolerates null views: fold
+  /// and absorb loops null out entries as they transfer ownership, so that
+  /// an exception mid-loop cannot double-free (delete of null is a no-op).
   void clear() {
     for (entry& e : entries_) delete e.view;
     entries_.clear();

@@ -58,18 +58,17 @@ void parallel_for(context& ctx, Index begin, Index end, const Body& body,
   if (begin >= end) return;
   const auto n = static_cast<std::uint64_t>(end - begin);
   if (grain == 0) grain = default_grain(n, ctx.sched().num_workers());
-  if (n <= grain) {
-    // The whole range fits one grain: no spawn can happen, so the loop
-    // needs neither a scoping frame nor a sync — run it inline on the
-    // caller's strand, exactly as the elision would.
-    for (Index i = begin; i < end; ++i) {
-      if constexpr (std::is_invocable_v<const Body&, context&, Index>) {
-        body(ctx, i);
-      } else {
-        body(i);
-      }
+  if constexpr (!std::is_invocable_v<const Body&, context&, Index>) {
+    if (n <= grain) {
+      // The whole range fits one grain and a body(i) cannot spawn, so the
+      // loop needs neither a scoping frame nor a sync — run it inline on
+      // the caller's strand, exactly as the elision would. The body(ctx, i)
+      // form never takes this path: it may spawn, and those spawns must
+      // attach to a loop frame whose implicit sync awaits them rather than
+      // escaping into the caller's frame.
+      for (Index i = begin; i < end; ++i) body(i);
+      return;
     }
-    return;
   }
   // A dedicated frame scopes the implicit sync, exactly as the compiler
   // would generate for the loop.

@@ -7,12 +7,14 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <functional>
 #include <memory>
 #include <numeric>
 #include <cstring>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "hyper/reducer.hpp"
@@ -325,6 +327,27 @@ TEST(ParallelForEdges, BodyThrowsOnSerialGrainPath) {
       std::runtime_error);
   EXPECT_EQ(executed, 4);  // iterations run in order up to the throw
   EXPECT_EQ(sched.run([](context&) { return 3; }), 3);  // still usable
+}
+
+TEST(ParallelForEdges, SpawningLeafBodyOnSmallRangeIsAwaited) {
+  // Regression: the serial n <= grain fast path applies only to the body(i)
+  // form. The body(leaf, i) form is allowed to spawn, and those spawns must
+  // attach to a loop frame whose implicit sync awaits them — inlined on the
+  // caller's strand they would escape the loop and still be running when
+  // parallel_for returns.
+  scheduler sched(4);
+  for (int round = 0; round < 20; ++round) {
+    sched.run([&](context& ctx) {
+      std::atomic<bool> done{false};
+      parallel_for(ctx, 0, 1, [&](context& leaf, int) {
+        leaf.spawn([&done](context&) {
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+          done.store(true, std::memory_order_release);
+        });
+      });
+      EXPECT_TRUE(done.load(std::memory_order_acquire));
+    });
+  }
 }
 
 TEST(ParallelForBasics, DefaultGrainRule) {
@@ -739,6 +762,74 @@ TEST(SlotArena, ResetCleanDropsStructureInPlace) {
     EXPECT_FALSE(s->is_child);  // append refreshes the stale mark
   }
   EXPECT_FALSE(a.all_children());
+}
+
+// --- Exception safety of view ownership transfers: a user reduce or absorb
+// may throw; every view must still be destroyed exactly once. ---
+
+struct counting_view final : view_base {
+  explicit counting_view(int* live) : live(live) { ++*live; }
+  ~counting_view() override { --*live; }
+  int* live;
+};
+
+struct throwing_hyper final : hyperobject_base {
+  throwing_hyper(int* live, bool throw_on_reduce, bool throw_on_absorb)
+      : live(live),
+        throw_on_reduce(throw_on_reduce),
+        throw_on_absorb(throw_on_absorb) {}
+
+  std::unique_ptr<view_base> identity_view() const override {
+    return std::make_unique<counting_view>(live);
+  }
+  void reduce_views(view_base&, view_base&) const override {
+    if (throw_on_reduce) throw std::runtime_error("reduce boom");
+  }
+  void absorb_final(std::unique_ptr<view_base>) override {
+    if (throw_on_absorb) throw std::runtime_error("absorb boom");
+  }
+
+  int* live;
+  bool throw_on_reduce;
+  bool throw_on_absorb;
+};
+
+TEST(ViewOwnership, ThrowingReduceInFoldDoesNotDoubleFree) {
+  // fold_view_maps must transfer each right view to a single owner before
+  // the (potentially throwing) reduce runs: on a throw, both maps unwind,
+  // and a view still listed in both would be deleted twice.
+  int live = 0;
+  throwing_hyper a(&live, false, false);
+  throwing_hyper b(&live, true, false);  // second entry reduced: throws
+  throwing_hyper c(&live, false, false);
+  {
+    view_map left, right;
+    left.insert_new(&a, std::make_unique<counting_view>(&live));
+    left.insert_new(&b, std::make_unique<counting_view>(&live));
+    right.insert_new(&a, std::make_unique<counting_view>(&live));
+    right.insert_new(&b, std::make_unique<counting_view>(&live));
+    right.insert_new(&c, std::make_unique<counting_view>(&live));
+    ASSERT_EQ(live, 5);
+    EXPECT_THROW(fold_view_maps(left, std::move(right)), std::runtime_error);
+    // a's right view was reduced and destroyed; b's was destroyed during
+    // the throw; c's was never reached and still sits in right. Both left
+    // views survive.
+    EXPECT_EQ(live, 3);
+  }
+  EXPECT_EQ(live, 0);  // every view destroyed exactly once
+}
+
+TEST(ViewOwnership, ThrowingAbsorbAtRootDoesNotDoubleFree) {
+  // finish_root hands each final view to absorb_final; if the user reduce
+  // inside throws, the run's unwinding destroys the remaining view map,
+  // which must not re-delete the view just handed over.
+  int live = 0;
+  throwing_hyper h(&live, false, true);
+  scheduler sched(2);
+  EXPECT_THROW(sched.run([&](context& ctx) { (void)ctx.hyper_view(h); }),
+               std::runtime_error);
+  EXPECT_EQ(live, 0);
+  EXPECT_EQ(sched.run([](context&) { return 7; }), 7);  // still usable
 }
 
 // --- Wide fan-out through the lock-free join: 10^5 children of ONE frame,
