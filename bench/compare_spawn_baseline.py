@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Perf regression gate for the spawn/join fast path.
+
+Compares a fresh BENCH_spawn_path.json (written by bench_spawn_path)
+against the checked-in baseline and fails when the measured spawn+sync
+pair exceeds RATIO_MAX times the baseline envelope. The envelope is a
+conservative shared-runner number, so a failure here means the fast path
+structurally regressed (a lock, a malloc, pedigree maintenance growing an
+allocation) — not noise.
+
+Usage: compare_spawn_baseline.py <measured.json> <baseline.json>
+Exit status: 0 within budget, 1 over budget or unreadable input.
+"""
+
+import json
+import sys
+
+RATIO_MAX = 1.3
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 1
+    try:
+        with open(sys.argv[1]) as f:
+            measured = json.load(f)
+        with open(sys.argv[2]) as f:
+            baseline = json.load(f)
+        pair = float(measured["pair_ns"])
+        base = float(baseline["pair_ns"])
+    except (OSError, KeyError, ValueError) as e:
+        print(f"FAIL: cannot read pair_ns: {e}", file=sys.stderr)
+        return 1
+    budget = base * RATIO_MAX
+    verdict = "OK" if pair <= budget else "FAIL"
+    print(
+        f"{verdict}: spawn+sync pair {pair:.1f}ns, "
+        f"baseline {base:.1f}ns, budget {budget:.1f}ns ({RATIO_MAX}x)"
+    )
+    return 0 if pair <= budget else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,6 +23,10 @@ proc_id detector::enter_spawn(proc_id parent) {
   const proc_id child = bags_.enter_procedure(parent);
   const proc_id tree_child = tree_.add_spawn(parent);
   CILKPP_ASSERT(tree_child == child, "procedure numbering out of step");
+#if CILKPP_PEDIGREE_ENABLED
+  peds_.on_child(parent, child);  // after the lint boundary: it sees the
+                                  // parent's pre-spawn rank
+#endif
   return child;
 }
 
@@ -40,6 +44,9 @@ proc_id detector::enter_call(proc_id parent) {
   const proc_id child = bags_.enter_procedure(parent);
   const proc_id tree_child = tree_.add_call(parent);
   CILKPP_ASSERT(tree_child == child, "procedure numbering out of step");
+#if CILKPP_PEDIGREE_ENABLED
+  peds_.on_child(parent, child);  // a call consumes a parent rank, like spawn
+#endif
   return child;
 }
 
@@ -52,6 +59,9 @@ void detector::sync(proc_id f) {
   if (lint_ != nullptr) lint_->on_boundary(lint::boundary::sync, f);
 #endif
   bags_.sync(f);
+#if CILKPP_PEDIGREE_ENABLED
+  peds_.on_sync(f);
+#endif
 }
 
 void detector::report(race_kind rk, std::uintptr_t addr,
@@ -60,10 +70,16 @@ void detector::report(race_kind rk, std::uintptr_t addr,
   ++stats_.races_found;
   if (rk == race_kind::view) ++stats_.view_races;
   if (races_.size() >= max_reports) return;
-  const std::uint64_t key = (static_cast<std::uint64_t>(addr) << 3) |
-                            (rk == race_kind::view ? 4u : 0u) |
-                            (static_cast<std::uint64_t>(first.kind) << 1) |
-                            static_cast<std::uint64_t>(second_kind);
+  std::uint64_t key = (static_cast<std::uint64_t>(addr) << 3) |
+                      (rk == race_kind::view ? 4u : 0u) |
+                      (static_cast<std::uint64_t>(first.kind) << 1) |
+                      static_cast<std::uint64_t>(second_kind);
+#if CILKPP_PEDIGREE_ENABLED
+  // Pedigree-keyed dedup: distinct endpoint strands at the same address and
+  // kind pair are distinct races. Same-strand repeats still fold to one.
+  key = ped::mix(ped::mix(key, peds_.strand_hash_at(first.proc, first.ped_rank)),
+                 peds_.strand_hash(current));
+#endif
   if (!reported_.insert(key).second) return;  // already reported this shape
   race_record r;
   r.kind = rk;
@@ -72,6 +88,10 @@ void detector::report(race_kind rk, std::uintptr_t addr,
   r.second = second_kind;
   r.first_proc = first.proc;
   r.second_proc = current;
+#if CILKPP_PEDIGREE_ENABLED
+  r.first_ped = peds_.strand_at(first.proc, first.ped_rank);
+  r.second_ped = peds_.strand(current);
+#endif
   if (first.label != nullptr) r.first_label = first.label;
   if (second_label != nullptr) r.second_label = second_label;
   races_.push_back(std::move(r));
@@ -84,9 +104,14 @@ void detector::on_access(proc_id current, const void* addr, std::size_t size,
     return bags_.in_p_bag(e.strand);
   };
   const auto base = reinterpret_cast<std::uintptr_t>(addr);
+#if CILKPP_PEDIGREE_ENABLED
+  const std::uint64_t cur_rank = peds_.rank(current);
+#else
+  const std::uint64_t cur_rank = 0;
+#endif
   for (std::size_t k = 0; k < size; ++k) {
     shadow_.cell(base + k).hist.access(
-        current, current, kind, held_, label, parallel,
+        current, current, cur_rank, kind, held_, label, parallel,
         [&](const history_entry<proc_id>& e) {
           report(race_kind::determinacy, base + k, e, current, kind, label);
         },
@@ -215,8 +240,13 @@ void detector::on_view_access(proc_id current, const rt::hyperobject_base& h,
   // the history's race callback is a no-op; the entries exist only for the
   // raw-vs-view check above and its mirror in on_access. Views are recorded
   // with an empty lockset: a lock never protects against a view race.
-  hs.views.access(current, current, kind, lockset{}, hs.label, parallel,
-                  [](const history_entry<proc_id>&) {}, stats_);
+#if CILKPP_PEDIGREE_ENABLED
+  const std::uint64_t cur_rank = peds_.rank(current);
+#else
+  const std::uint64_t cur_rank = 0;
+#endif
+  hs.views.access(current, current, cur_rank, kind, lockset{}, hs.label,
+                  parallel, [](const history_entry<proc_id>&) {}, stats_);
 }
 
 #if CILKPP_LINT_ENABLED

@@ -94,7 +94,12 @@ class detector {
   /// Attaches (nullptr: detaches) an analyzer; it receives every lock,
   /// boundary, and view-identity event from here on. The analyzer must
   /// outlive its attachment; call la->finish() after the run.
-  void attach_lint(lint_analyzer* la) { lint_ = la; }
+  void attach_lint(lint_analyzer* la) {
+    lint_ = la;
+#if CILKPP_PEDIGREE_ENABLED
+    if (la != nullptr) la->set_pedigrees(&peds_);
+#endif
+  }
   lint_analyzer* attached_lint() const { return lint_; }
   /// A strand *obtained* a reducer view (reducer::view under a screen
   /// context). Feeds the lint view-escape check; also registers the
@@ -113,6 +118,15 @@ class detector {
   const proc_tree& procedures() const { return tree_; }
   /// histogram[n] = number of touched shadow bytes remembering n accesses.
   std::vector<std::uint64_t> history_histogram() const;
+#if CILKPP_PEDIGREE_ENABLED
+  /// Pedigree bookkeeping (one entry per procedure, same rank rules as the
+  /// runtime — reports carry these so they compare across engines/runs).
+  const ped::proc_pedigrees& pedigrees() const { return peds_; }
+  /// The current strand of procedure p, and its deterministic draw stream.
+  ped::pedigree strand_pedigree(proc_id p) const { return peds_.strand(p); }
+  std::uint64_t strand_id(proc_id p) const { return peds_.strand_hash(p); }
+  std::uint64_t dprng_draw(proc_id p) { return peds_.draw(p); }
+#endif
   /// Race reports are deduplicated per (address, kind pair); cap the total
   /// to keep pathological programs manageable.
   static constexpr std::size_t max_reports = 1000;
@@ -138,6 +152,9 @@ class detector {
   sp_bags bags_;
 #if CILKPP_LINT_ENABLED
   lint_analyzer* lint_ = nullptr;
+#endif
+#if CILKPP_PEDIGREE_ENABLED
+  ped::proc_pedigrees peds_;
 #endif
   proc_id root_;
   proc_tree tree_;

@@ -48,6 +48,10 @@ template <typename Sid>
 struct history_entry {
   Sid strand{};                  ///< engine-specific strand identity
   proc_id proc = invalid_proc;   ///< procedure, for provenance and reports
+  /// proc's pedigree rank at the access — captured at event time because
+  /// the procedure's rank advances with later spawns/syncs; together with
+  /// proc it names the accessing strand schedule-independently.
+  std::uint64_t ped_rank = 0;
   lockset locks;
   access_kind kind = access_kind::read;
   const char* label = nullptr;   ///< user label at the access site, if any
@@ -63,8 +67,9 @@ class access_history {
   ///   report(entry)   — called for each remembered access that races with
   ///                     this one (parallel, disjoint locksets, ≥1 write).
   template <typename Parallel, typename Report>
-  void access(Sid strand, proc_id proc, access_kind kind, const lockset& held,
-              const char* label, const Parallel& parallel, const Report& report,
+  void access(Sid strand, proc_id proc, std::uint64_t ped_rank,
+              access_kind kind, const lockset& held, const char* label,
+              const Parallel& parallel, const Report& report,
               detector_stats& stats) {
     bool redundant = false;
     std::size_t out = 0;
@@ -104,7 +109,7 @@ class access_history {
       ++stats.history_spills;
       return;
     }
-    entries_.push_back({strand, proc, held, kind, label});
+    entries_.push_back({strand, proc, ped_rank, held, kind, label});
   }
 
   /// Read-only scan of the remembered accesses (raw-vs-view checks, bench

@@ -93,6 +93,16 @@ class basic_screen_context {
   }
 #endif
 
+#if CILKPP_PEDIGREE_ENABLED
+  /// Pedigree surface, mirroring rt::context: the current strand's rank-list
+  /// identity, its hash, and the deterministic DPRNG stream seeded by it.
+  /// Because both engines replay the serial elision order with the same rank
+  /// rules as the runtime, these match the runtime's values bit for bit.
+  ped::pedigree pedigree() const { return d_->strand_pedigree(self_); }
+  std::uint64_t strand_id() const { return d_->strand_id(self_); }
+  std::uint64_t dprng_draw() { return d_->dprng_draw(self_); }
+#endif
+
   Detector& screen_detector() const { return *d_; }
   proc_id procedure() const { return self_; }
 

@@ -44,6 +44,10 @@ proc_id order_detector::enter_spawn(proc_id parent) {
   const proc_id id = static_cast<proc_id>(frames_.size() - 1);
   const proc_id tree_id = tree_.add_spawn(parent);
   CILKPP_ASSERT(tree_id == id, "procedure numbering out of step");
+#if CILKPP_PEDIGREE_ENABLED
+  peds_.on_child(parent, id);  // after the lint boundary: it sees the
+                               // parent's pre-spawn rank
+#endif
   return id;
 }
 
@@ -70,6 +74,9 @@ proc_id order_detector::enter_call(proc_id parent) {
   const proc_id id = static_cast<proc_id>(frames_.size() - 1);
   const proc_id tree_id = tree_.add_call(parent);
   CILKPP_ASSERT(tree_id == id, "procedure numbering out of step");
+#if CILKPP_PEDIGREE_ENABLED
+  peds_.on_child(parent, id);  // a call consumes a parent rank, like spawn
+#endif
   return id;
 }
 
@@ -87,6 +94,11 @@ void order_detector::sync(proc_id f) {
   if (lint_ != nullptr) lint_->on_boundary(lint::boundary::sync, f);
 #endif
   sync_impl(f);
+#if CILKPP_PEDIGREE_ENABLED
+  // Unconditional, unlike sync_impl's no-spawn fast path: the runtime's
+  // rank advances at every sync regardless of pending children.
+  peds_.on_sync(f);
+#endif
 }
 
 void order_detector::sync_impl(proc_id f) {
@@ -106,10 +118,15 @@ void order_detector::report(race_kind rk, std::uintptr_t addr,
   ++stats_.races_found;
   if (rk == race_kind::view) ++stats_.view_races;
   if (races_.size() >= max_reports) return;
-  const std::uint64_t key = (static_cast<std::uint64_t>(addr) << 3) |
-                            (rk == race_kind::view ? 4u : 0u) |
-                            (static_cast<std::uint64_t>(first.kind) << 1) |
-                            static_cast<std::uint64_t>(second_kind);
+  std::uint64_t key = (static_cast<std::uint64_t>(addr) << 3) |
+                      (rk == race_kind::view ? 4u : 0u) |
+                      (static_cast<std::uint64_t>(first.kind) << 1) |
+                      static_cast<std::uint64_t>(second_kind);
+#if CILKPP_PEDIGREE_ENABLED
+  // Pedigree-keyed dedup, matching the SP-bags engine bit for bit.
+  key = ped::mix(ped::mix(key, peds_.strand_hash_at(first.proc, first.ped_rank)),
+                 peds_.strand_hash(current));
+#endif
   if (!reported_.insert(key).second) return;
   race_record r;
   r.kind = rk;
@@ -118,6 +135,10 @@ void order_detector::report(race_kind rk, std::uintptr_t addr,
   r.second = second_kind;
   r.first_proc = first.proc;
   r.second_proc = current;
+#if CILKPP_PEDIGREE_ENABLED
+  r.first_ped = peds_.strand_at(first.proc, first.ped_rank);
+  r.second_ped = peds_.strand(current);
+#endif
   if (first.label != nullptr) r.first_label = first.label;
   if (second_label != nullptr) r.second_label = second_label;
   races_.push_back(std::move(r));
@@ -133,9 +154,14 @@ void order_detector::on_access(proc_id current, const void* addr,
     return om_list::precedes(cur_h, e.strand);
   };
   const auto base = reinterpret_cast<std::uintptr_t>(addr);
+#if CILKPP_PEDIGREE_ENABLED
+  const std::uint64_t cur_rank = peds_.rank(current);
+#else
+  const std::uint64_t cur_rank = 0;
+#endif
   for (std::size_t k = 0; k < size; ++k) {
     shadow_.cell(base + k).hist.access(
-        cur_h, current, kind, held_, label, parallel,
+        cur_h, current, cur_rank, kind, held_, label, parallel,
         [&](const entry& e) {
           report(race_kind::determinacy, base + k, e, current, kind, label);
         },
@@ -272,8 +298,13 @@ void order_detector::on_view_access(proc_id current,
   }
   // View-vs-view accesses are exempt (the reducer guarantee); record with an
   // empty lockset so no lock discipline can mask the raw-vs-view check.
-  hs.views.access(cur_h, current, kind, lockset{}, hs.label, parallel,
-                  [](const entry&) {}, stats_);
+#if CILKPP_PEDIGREE_ENABLED
+  const std::uint64_t cur_rank = peds_.rank(current);
+#else
+  const std::uint64_t cur_rank = 0;
+#endif
+  hs.views.access(cur_h, current, cur_rank, kind, lockset{}, hs.label,
+                  parallel, [](const entry&) {}, stats_);
 }
 
 #if CILKPP_LINT_ENABLED

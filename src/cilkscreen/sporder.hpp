@@ -84,7 +84,12 @@ class order_detector {
   /// engine answer the pair-parallel query EXACTLY: for two remembered
   /// strands (earlier, later), parallel iff later H-precedes earlier.
   using lint_analyzer = lint::analyzer<om_list::node*>;
-  void attach_lint(lint_analyzer* la) { lint_ = la; }
+  void attach_lint(lint_analyzer* la) {
+    lint_ = la;
+#if CILKPP_PEDIGREE_ENABLED
+    if (la != nullptr) la->set_pedigrees(&peds_);
+#endif
+  }
   lint_analyzer* attached_lint() const { return lint_; }
   void on_view_fetch(proc_id current, const rt::hyperobject_base& h,
                      const void* base, std::size_t size,
@@ -104,6 +109,15 @@ class order_detector {
     return english_.relabel_count() + hebrew_.relabel_count();
   }
   static constexpr std::size_t max_reports = 1000;
+#if CILKPP_PEDIGREE_ENABLED
+  /// Pedigree bookkeeping — identical, by construction, to the SP-bags
+  /// engine's for the same program (both number procedures in serial order
+  /// and fire the same enter/sync events).
+  const ped::proc_pedigrees& pedigrees() const { return peds_; }
+  ped::pedigree strand_pedigree(proc_id p) const { return peds_.strand(p); }
+  std::uint64_t strand_id(proc_id p) const { return peds_.strand_hash(p); }
+  std::uint64_t dprng_draw(proc_id p) { return peds_.draw(p); }
+#endif
 
  private:
   struct frame {
@@ -143,6 +157,9 @@ class order_detector {
   om_list hebrew_;
 #if CILKPP_LINT_ENABLED
   lint_analyzer* lint_ = nullptr;
+#endif
+#if CILKPP_PEDIGREE_ENABLED
+  ped::proc_pedigrees peds_;
 #endif
   std::vector<frame> frames_;
   proc_tree tree_;

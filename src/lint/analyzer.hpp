@@ -64,6 +64,12 @@ class analyzer {
   analyzer(const analyzer&) = delete;
   analyzer& operator=(const analyzer&) = delete;
 
+  /// Optional pedigree source (the attaching engine's bookkeeping). When
+  /// set, every event captures the acting strand's rank so records carry
+  /// schedule-independent endpoint identities; when null (or pedigrees
+  /// compiled out) records keep empty pedigrees and everything else works.
+  void set_pedigrees(const ped::proc_pedigrees* p) { peds_ = p; }
+
   /// Reports are deduplicated per site; cap the total like the race
   /// engines do, so pathological programs stay manageable.
   static constexpr std::size_t max_reports = 1000;
@@ -91,7 +97,7 @@ class analyzer {
     for (const held_lock& h : held_) {
       add_site(h.l, l, strand, proc, held_before);
     }
-    held_.push_back({l, proc, strand});
+    held_.push_back({l, proc, strand, cur_rank(proc)});
   }
 
   void on_release(screen::proc_id proc, screen::lock_id l) {
@@ -115,6 +121,8 @@ class analyzer {
     r.lock = l;
     r.first_proc = proc;
     r.second_proc = proc;
+    r.first_ped = cur_strand(proc);
+    r.second_ped = r.first_ped;
     push(std::move(r));
   }
 
@@ -138,6 +146,10 @@ class analyzer {
       r.lock = h.l;
       r.first_proc = h.proc;
       r.second_proc = proc;
+      r.first_ped = strand_of(h.proc, h.ped_rank);
+      r.second_ped = cur_strand(proc);  // engines fire the boundary event
+                                        // before bumping the rank, so this
+                                        // is the strand CROSSING the boundary
       push(std::move(r));
     }
   }
@@ -163,16 +175,18 @@ class analyzer {
   /// the one a cached reference would alias.
   void on_view_fetch(const void* hyper, Sid strand, screen::proc_id proc,
                      std::uintptr_t lo, const char* label) {
+    const std::uint64_t r = cur_rank(proc);
     for (view_fetch& f : fetches_) {
       if (f.hyper == hyper) {
         f.strand = strand;
         f.proc = proc;
         f.lo = lo;
         f.label = label;
+        f.ped_rank = r;
         return;
       }
     }
-    fetches_.push_back({hyper, strand, proc, lo, label});
+    fetches_.push_back({hyper, strand, proc, lo, label, r});
   }
 
   /// A raw access overlapping the hyperobject's view bytes by `proc`. If
@@ -196,6 +210,8 @@ class analyzer {
       r.address = f.lo;
       r.first_proc = f.proc;
       r.second_proc = proc;
+      r.first_ped = strand_of(f.proc, f.ped_rank);
+      r.second_ped = cur_strand(proc);
       if (f.label != nullptr) r.first_label = f.label;
       if (raw_label != nullptr) r.second_label = raw_label;
       push(std::move(r));
@@ -219,14 +235,16 @@ class analyzer {
  private:
   struct held_lock {
     screen::lock_id l;
-    screen::proc_id proc;  ///< acquiring procedure (provenance)
-    Sid strand;            ///< acquiring strand (SP queries)
+    screen::proc_id proc;    ///< acquiring procedure (provenance)
+    Sid strand;              ///< acquiring strand (SP queries)
+    std::uint64_t ped_rank;  ///< acquiring strand's pedigree rank
   };
   struct edge_site {
     Sid strand;
     screen::proc_id proc;
     screen::lockset held;    ///< full held set when acquiring (incl. `from`)
     std::uint64_t seq;       ///< recording order, for pair() orientation
+    std::uint64_t ped_rank;  ///< acquiring strand's pedigree rank
   };
   struct edge {
     screen::lock_id from, to;
@@ -244,6 +262,18 @@ class analyzer {
     return seen.insert(std::move(k)).second;
   }
 
+  // Pedigree capture: rank at event time, pedigree materialized lazily (a
+  // procedure's prefix never changes after creation, only its rank moves).
+  std::uint64_t cur_rank(screen::proc_id p) const {
+    return peds_ != nullptr ? peds_->rank(p) : 0;
+  }
+  ped::pedigree cur_strand(screen::proc_id p) const {
+    return peds_ != nullptr ? peds_->strand(p) : ped::pedigree{};
+  }
+  ped::pedigree strand_of(screen::proc_id p, std::uint64_t rank) const {
+    return peds_ != nullptr ? peds_->strand_at(p, rank) : ped::pedigree{};
+  }
+
   void push(lint_record r) {
     ++stats_.records_found;
     if (records_.size() >= max_reports) return;
@@ -258,6 +288,8 @@ class analyzer {
     r.lock = h.l;
     r.first_proc = h.proc;
     r.second_proc = h.proc;
+    r.first_ped = strand_of(h.proc, h.ped_rank);
+    r.second_ped = cur_strand(h.proc);
     push(std::move(r));
   }
 
@@ -288,7 +320,7 @@ class analyzer {
       ++stats_.edge_spills;
       return;
     }
-    e->sites.push_back({strand, proc, held, seq_++});
+    e->sites.push_back({strand, proc, held, seq_++, cur_rank(proc)});
     ++stats_.edge_sites;
   }
 
@@ -364,6 +396,8 @@ class analyzer {
     r.lock = r.cycle.front();
     r.first_proc = chosen.front()->proc;
     r.second_proc = proc;
+    r.first_ped = strand_of(chosen.front()->proc, chosen.front()->ped_rank);
+    r.second_ped = cur_strand(proc);
     push(std::move(r));
   }
 
@@ -429,8 +463,10 @@ class analyzer {
     screen::proc_id proc;
     std::uintptr_t lo;
     const char* label;
+    std::uint64_t ped_rank;  ///< fetching strand's pedigree rank
   };
 
+  const ped::proc_pedigrees* peds_ = nullptr;
   std::vector<held_lock> held_;
   std::vector<edge> edges_;
   std::uint64_t seq_ = 0;

@@ -15,11 +15,13 @@
 // way so analyzer unit tests and tooling build in both configurations.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 #include "cilkscreen/race_types.hpp"
+#include "pedigree/pedigree.hpp"
 
 #ifndef CILKPP_LINT_ENABLED
 #define CILKPP_LINT_ENABLED 1
@@ -72,19 +74,62 @@ struct lint_record {
   std::uintptr_t address = 0;
   screen::proc_id first_proc = screen::invalid_proc;
   screen::proc_id second_proc = screen::invalid_proc;
+  /// Schedule-independent endpoint identities (empty when CILKPP_PEDIGREE
+  /// is OFF): the pedigree of each endpoint's strand, captured at event
+  /// time — what makes lint reports comparable across engines and runs.
+  ped::pedigree first_ped;
+  ped::pedigree second_ped;
   std::string first_label;   ///< e.g. the hyperobject label at the fetch
   std::string second_label;  ///< e.g. the user label at the raw access
 };
 
-/// Deterministic report order: (kind, lock, cycle, address, first_proc,
-/// second_proc) — stable across runs for identical executions.
+/// Deterministic report order: (kind, lock, cycle, pedigrees, address,
+/// procs) — stable across runs for identical executions; pedigree-keyed so
+/// both SP engines order identical diagnostics identically.
 inline bool lint_report_order(const lint_record& a, const lint_record& b) {
   if (a.kind != b.kind) return a.kind < b.kind;
   if (a.lock != b.lock) return a.lock < b.lock;
   if (a.cycle != b.cycle) return a.cycle < b.cycle;
+  if (a.first_ped != b.first_ped) return ped::before(a.first_ped, b.first_ped);
+  if (a.second_ped != b.second_ped)
+    return ped::before(a.second_ped, b.second_ped);
   if (a.address != b.address) return a.address < b.address;
   if (a.first_proc != b.first_proc) return a.first_proc < b.first_proc;
   return a.second_proc < b.second_proc;
+}
+
+/// Address-free digest of one diagnostic: kind, locks, pedigrees, labels —
+/// stable across runs (no addresses, no proc ids).
+inline std::uint64_t lint_fingerprint(const lint_record& r) {
+  std::uint64_t h = ped::mix(0x4c494e54u, static_cast<std::uint64_t>(r.kind));
+  h = ped::mix(h, r.lock);
+  for (const screen::lock_id l : r.cycle) h = ped::mix(h, l);
+  h = ped::mix(h, ped::hash(r.first_ped));
+  h = ped::mix(h, ped::hash(r.second_ped));
+  for (const char c : r.first_label) h = ped::mix(h, static_cast<unsigned char>(c));
+  for (const char c : r.second_label) h = ped::mix(h, static_cast<unsigned char>(c));
+  return h;
+}
+
+/// Order-insensitive digest of a whole diagnostic set (sorted by the
+/// address-free part of the record before folding) — the cross-run /
+/// cross-engine comparison key for lint output.
+inline std::uint64_t lint_set_fingerprint(std::vector<lint_record> rs) {
+  const auto address_free_order = [](const lint_record& a,
+                                     const lint_record& b) {
+    if (a.kind != b.kind) return a.kind < b.kind;
+    if (a.lock != b.lock) return a.lock < b.lock;
+    if (a.cycle != b.cycle) return a.cycle < b.cycle;
+    if (a.first_ped != b.first_ped) return ped::before(a.first_ped, b.first_ped);
+    if (a.second_ped != b.second_ped)
+      return ped::before(a.second_ped, b.second_ped);
+    if (a.first_label != b.first_label) return a.first_label < b.first_label;
+    return a.second_label < b.second_label;
+  };
+  std::sort(rs.begin(), rs.end(), address_free_order);
+  std::uint64_t h = ped::root_seed;
+  for (const lint_record& r : rs) h = ped::mix(h, lint_fingerprint(r));
+  return h;
 }
 
 struct lint_stats {

@@ -1,0 +1,64 @@
+// Deterministic parallel RNG seeded from a pedigree (the DPRNG of
+// Leiserson/Schardl/Sukha, here as splitmix over the rank list).
+//
+// A strand's stream is a pure function of (user seed, pedigree): the same
+// strand draws the same numbers on every run, any worker count, any chaos
+// schedule — while sibling strands, whose pedigrees differ in one rank, get
+// statistically independent streams (the mix step is a full splitmix64
+// finalizer, so a one-rank change flips every output bit with probability
+// ~1/2; support_test's chi-square and sibling-independence smokes check
+// this).
+//
+// Two entry points:
+//
+//   * dprng_stream — an explicit stream object for workload code that holds
+//     a materialized pedigree (nqueens-style sampling: seed a stream per
+//     board strand, draw as many values as needed).
+//   * ctx.dprng_draw() — the runtime/analyzer contexts maintain the hash
+//     chain incrementally and serve draws without materializing the list;
+//     draw k of the strand with pedigree p is mix(hash(p), k), identical to
+//     dprng_stream{p}.next() sequence when the stream's seed is 0.
+#pragma once
+
+#include <cstdint>
+
+#include "pedigree/pedigree.hpp"
+
+namespace cilkpp::ped {
+
+/// A per-strand deterministic stream: the k-th next() yields
+/// mix(base, k) where base folds the pedigree hash with the user seed.
+class dprng_stream {
+ public:
+  /// Stream for `p`'s strand under a user seed. seed = 0 reproduces the
+  /// contexts' built-in dprng_draw sequence for the same strand.
+  explicit dprng_stream(const pedigree& p, std::uint64_t seed = 0)
+      : base_(seed == 0 ? hash(p) : mix(hash(p), seed)) {}
+
+  /// Stream directly from a strand hash (e.g. ctx.strand_id()).
+  explicit dprng_stream(std::uint64_t strand_hash, std::uint64_t seed = 0)
+      : base_(seed == 0 ? strand_hash : mix(strand_hash, seed)) {}
+
+  /// The k-th call returns mix(base, k): a counter-mode splitmix over the
+  /// rank-list hash, so streams are random-access (draw_at) as well.
+  std::uint64_t next() { return mix(base_, ++draws_); }
+
+  /// Random access: the value next() would return on its k-th call (k >= 1).
+  std::uint64_t draw_at(std::uint64_t k) const { return mix(base_, k); }
+
+  /// Uniform integer in [0, bound), bound nonzero (multiply-shift, biased
+  /// by < 2^-32 for bounds below 2^32 — fine for sampling workloads).
+  std::uint64_t below(std::uint64_t bound) {
+    return static_cast<std::uint64_t>(
+        (static_cast<__uint128_t>(next()) * bound) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double unit() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+ private:
+  std::uint64_t base_;
+  std::uint64_t draws_ = 0;
+};
+
+}  // namespace cilkpp::ped

@@ -1,0 +1,86 @@
+#include "pedigree/pedigree.hpp"
+
+#include <algorithm>
+#include <charconv>
+
+#include "support/assert.hpp"
+
+namespace cilkpp::ped {
+
+bool before(const pedigree& a, const pedigree& b) {
+  return std::lexicographical_compare(a.ranks.begin(), a.ranks.end(),
+                                      b.ranks.begin(), b.ranks.end());
+}
+
+bool is_prefix(const pedigree& prefix, const pedigree& p) {
+  if (prefix.ranks.size() > p.ranks.size()) return false;
+  return std::equal(prefix.ranks.begin(), prefix.ranks.end(), p.ranks.begin());
+}
+
+std::string to_string(const pedigree& p) {
+  std::string out = "<";
+  for (std::size_t i = 0; i < p.ranks.size(); ++i) {
+    if (i != 0) out += ',';
+    out += std::to_string(p.ranks[i]);
+  }
+  out += '>';
+  return out;
+}
+
+pedigree parse(std::string_view text) {
+  pedigree p;
+  std::size_t i = 0;
+  const auto skip = [&] {
+    while (i < text.size() &&
+           (text[i] == '<' || text[i] == '>' || text[i] == ',' ||
+            text[i] == ' '))
+      ++i;
+  };
+  for (skip(); i < text.size(); skip()) {
+    std::uint64_t value = 0;
+    const auto [next, ec] =
+        std::from_chars(text.data() + i, text.data() + text.size(), value);
+    if (ec != std::errc{}) return pedigree{};  // malformed
+    p.ranks.push_back(value);
+    i = static_cast<std::size_t>(next - text.data());
+  }
+  return p;
+}
+
+proc_pedigrees::proc_pedigrees() {
+  procs_.push_back(entry{{}, root_seed, 0, 0});
+}
+
+void proc_pedigrees::on_child(std::uint32_t parent, std::uint32_t child) {
+  // Append-only, ids in entry order: both engines number procedures in
+  // serial order, so child must be the next slot.
+  CILKPP_ASSERT(child == procs_.size(),
+                "procedure ids must be assigned in serial entry order");
+  entry& pe = procs_[parent];
+  entry ce;
+  ce.prefix = pe.prefix;
+  ce.prefix.push_back(pe.rank);
+  ce.prefix_hash = mix(pe.prefix_hash, pe.rank);
+  ce.rank = 0;
+  ce.draws = 0;
+  ++pe.rank;  // the continuation after the spawn/call is a new strand
+  pe.draws = 0;
+  procs_.push_back(std::move(ce));
+}
+
+void proc_pedigrees::on_sync(std::uint32_t p) {
+  entry& e = procs_[p];
+  ++e.rank;
+  e.draws = 0;
+}
+
+pedigree proc_pedigrees::strand_at(std::uint32_t p, std::uint64_t r) const {
+  const entry& e = procs_[p];
+  pedigree out;
+  out.ranks.reserve(e.prefix.size() + 1);
+  out.ranks = e.prefix;
+  out.ranks.push_back(r);
+  return out;
+}
+
+}  // namespace cilkpp::ped

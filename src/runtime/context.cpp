@@ -24,7 +24,8 @@
 namespace cilkpp::rt {
 
 context::context(scheduler* sched, worker* home, context* parent,
-                 frame_slot* parent_slot, kind k, std::uint64_t ped_hash)
+                 frame_slot* parent_slot, kind k, std::uint64_t ped_hash,
+                 std::uint64_t birth_rank)
     : sched_(sched),
       home_(home),
       parent_(parent),
@@ -32,6 +33,11 @@ context::context(scheduler* sched, worker* home, context* parent,
       kind_(k),
       depth_(parent == nullptr ? 0 : parent->depth_ + 1),
       ped_hash_(ped_hash) {
+#if CILKPP_PEDIGREE_ENABLED
+  birth_rank_ = birth_rank;
+#else
+  (void)birth_rank;
+#endif
   CILKPP_ASSERT(home_ != nullptr, "context created off a worker");
   // Single writer (this worker); relaxed load-max-store is race-free.
   if (depth_ > home_->max_frame_depth.load(std::memory_order_relaxed)) {
@@ -279,6 +285,7 @@ view_base& context::hyper_view(hyperobject_base& h) {
   return *v;
 }
 
+#if CILKPP_PEDIGREE_ENABLED
 std::uint64_t context::strand_id() const { return ped_mix(ped_hash_, rank_); }
 
 std::uint64_t context::dprng_draw() {
@@ -286,6 +293,23 @@ std::uint64_t context::dprng_draw() {
   // the rank advances, so the k-th draw of a strand is schedule-invariant.
   return ped_mix(strand_id(), ++draws_);
 }
+
+ped::pedigree context::pedigree() const {
+  // Collect birth ranks leaf-to-root; every field read here is immutable
+  // after the frame's construction, and a parent strictly outlives its
+  // children, so the walk is safe even from a stolen child's worker.
+  ped::pedigree p;
+  std::uint64_t depth = 0;
+  for (const context* f = this; f->parent_ != nullptr; f = f->parent_) ++depth;
+  p.ranks.resize(depth + 1);
+  p.ranks[depth] = rank_;
+  std::uint64_t i = depth;
+  for (const context* f = this; f->parent_ != nullptr; f = f->parent_) {
+    p.ranks[--i] = f->birth_rank_;
+  }
+  return p;
+}
+#endif
 
 void worker_stats::merge(const worker_stats& o) {
   spawns += o.spawns;

@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "deque/chase_lev.hpp"
+#include "pedigree/pedigree.hpp"
 #include "runtime/task_pool.hpp"
 #include "runtime/hyper_iface.hpp"
 #include "runtime/slot_arena.hpp"
@@ -110,7 +111,21 @@ struct task {
   /// write until its release-decrement of the parent's pending count.
   frame_slot* parent_slot;
   std::uint64_t child_ped_hash;  ///< pedigree prefix captured at spawn time
+#if CILKPP_PEDIGREE_ENABLED
+  /// The parent's rank at the spawn: the child's last rank-list element,
+  /// needed only to materialize full pedigrees (the hash above carries the
+  /// hot-path identity either way).
+  std::uint64_t child_birth_rank = 0;
+#endif
   std::uint32_t alloc_size = 0;  ///< block size for the task pool
+
+  std::uint64_t birth_rank() const {
+#if CILKPP_PEDIGREE_ENABLED
+    return child_birth_rank;
+#else
+    return 0;
+#endif
+  }
 };
 
 /// Destroys and recycles a task block (tasks come from task_allocate).
@@ -290,17 +305,25 @@ class context {
   /// Spawn depth of this frame: 0 for the root.
   std::uint64_t depth() const { return depth_; }
 
+#if CILKPP_PEDIGREE_ENABLED
   /// Pedigree-based strand identifier: a 64-bit value that identifies the
   /// currently executing strand *independent of scheduling* — the same
   /// strand gets the same id on every run and any worker count (the
   /// mechanism behind deterministic parallel RNG in Cilk-family systems).
   /// Computed as a hash chain over (parent pedigree, spawn rank), advanced
-  /// at every spawn and sync.
+  /// at every spawn, call, and sync. Equals ped::hash(pedigree()).
   std::uint64_t strand_id() const;
 
   /// One deterministic pseudo-random draw for the current strand: the k-th
   /// draw of a given strand is identical across runs and worker counts.
   std::uint64_t dprng_draw();
+
+  /// Materializes the current strand's full rank list by walking the live
+  /// parent chain collecting birth ranks — O(depth), off the hot path (the
+  /// chain's links and birth ranks are immutable after construction, and a
+  /// parent outlives its children, so the walk is safe from any strand).
+  ped::pedigree pedigree() const;
+#endif
 
  private:
   friend class scheduler;
@@ -310,13 +333,13 @@ class context {
   enum class kind : std::uint8_t { root, spawned, called };
 
   context(scheduler* sched, worker* home, context* parent, frame_slot* parent_slot,
-          kind k, std::uint64_t ped_hash);
+          kind k, std::uint64_t ped_hash, std::uint64_t birth_rank);
 
   /// Deterministic pedigree chaining: the child born at rank r of a frame
-  /// with prefix h gets prefix ped_mix(h, r).
+  /// with prefix h gets prefix ped_mix(h, r). The hash chain stays even when
+  /// CILKPP_PEDIGREE is OFF — trace uses it as the frame identity.
   static std::uint64_t ped_mix(std::uint64_t h, std::uint64_t r) {
-    std::uint64_t state = h ^ (r * 0x9e3779b97f4a7c15ULL);
-    return splitmix64(state);
+    return ped::mix(h, r);
   }
 
   /// Owner-only: appends a child slot to the arena and returns its address
@@ -354,7 +377,9 @@ class context {
   /// must open a fresh segment.
   void bump_rank() {
     ++rank_;
+#if CILKPP_PEDIGREE_ENABLED
     draws_ = 0;
+#endif
     cached_hyper_ = nullptr;
   }
 
@@ -369,7 +394,10 @@ class context {
   std::uint64_t depth_;
   std::uint64_t ped_hash_;  // hash of this frame's pedigree prefix
   std::uint64_t rank_ = 0;  // spawn/sync rank within this frame
-  std::uint64_t draws_ = 0; // dprng draws on the current strand
+#if CILKPP_PEDIGREE_ENABLED
+  std::uint64_t birth_rank_ = 0;  // parent's rank when this frame was born
+  std::uint64_t draws_ = 0;       // dprng draws on the current strand
+#endif
   bool finished_ = false;
   // Strand-local view cache: repeat accesses to the same reducer within a
   // strand skip the flat-map scan. Safe because a view object is
@@ -488,7 +516,8 @@ struct spawn_task final : task {
 
   void execute() override {
     context child(parent_frame->sched_, scheduler::current_worker(), parent_frame,
-                  parent_slot, context::kind::spawned, child_ped_hash);
+                  parent_slot, context::kind::spawned, child_ped_hash,
+                  birth_rank());
     std::exception_ptr body_exception;
     try {
       fn(child);
@@ -517,6 +546,9 @@ void context::spawn(Fn&& fn) {
   void* mem = task_allocate(sizeof(task_type));
   auto* t = new (mem) task_type(this, slot, std::forward<Fn>(fn), child_ped);
   t->alloc_size = sizeof(task_type);
+#if CILKPP_PEDIGREE_ENABLED
+  t->child_birth_rank = rank_ - 1;  // rank before the bump above
+#endif
   bump_counter(home_->spawns);
   sched_->push(*home_, t);
 }
@@ -524,9 +556,10 @@ void context::spawn(Fn&& fn) {
 template <typename Fn>
 auto context::call(Fn&& fn) -> decltype(fn(std::declval<context&>())) {
   const std::uint64_t child_ped = ped_mix(ped_hash_, rank_);
+  const std::uint64_t child_birth = rank_;
   bump_rank();  // the continuation after the call is a new strand
   context child(sched_, home_, this, /*parent_slot=*/nullptr, kind::called,
-                child_ped);
+                child_ped, child_birth);
   using result = decltype(fn(child));
   if constexpr (std::is_void_v<result>) {
     try {
@@ -562,7 +595,7 @@ auto scheduler::run(Fn&& fn) -> decltype(fn(std::declval<context&>())) {
   set_current_worker(workers_[0].get());
 
   context root(this, workers_[0].get(), nullptr, nullptr, context::kind::root,
-               /*ped_hash=*/0x5bd1e995c11c2009ULL);
+               /*ped_hash=*/ped::root_seed, /*birth_rank=*/0);
   auto cleanup = [&]() {
     set_current_worker(nullptr);
     run_active_.store(false);

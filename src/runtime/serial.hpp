@@ -7,10 +7,19 @@
 // elision. Workloads written once against a generic engine run under the
 // real scheduler, under elision (the <2%-overhead baseline of experiment
 // E6), under the dag recorder, and under the race detector.
+//
+// The elision maintains the same strand pedigrees as the runtime (rank rules
+// in pedigree/pedigree.hpp): spawn and call consume a rank and chain the
+// child's hash, sync advances the rank. The stress oracle compares dprng
+// streams across engines, so the bookkeeping here must match rt::context
+// bit for bit.
 #pragma once
 
 #include <cstdint>
+#include <type_traits>
 #include <utility>
+
+#include "pedigree/pedigree.hpp"
 
 namespace cilkpp::rt {
 
@@ -24,17 +33,32 @@ class serial_context {
   /// Elided cilk_spawn: run the child now, to completion.
   template <typename Fn>
   void spawn(Fn&& fn) {
+#if CILKPP_PEDIGREE_ENABLED
+    serial_context child(work_, ped::mix(ped_hash_, rank_));
+    bump_rank();
+#else
     serial_context child(work_);
+#endif
     std::forward<Fn>(fn)(child);
   }
 
-  /// Elided cilk_sync: every child already completed.
-  void sync() {}
+  /// Elided cilk_sync: every child already completed, but the strand after
+  /// the sync is new — its rank advances, as under the runtime.
+  void sync() {
+#if CILKPP_PEDIGREE_ENABLED
+    bump_rank();
+#endif
+  }
 
-  /// A plain call of a Cilk function.
+  /// A plain call of a Cilk function (consumes a rank, like spawn).
   template <typename Fn>
   auto call(Fn&& fn) {
+#if CILKPP_PEDIGREE_ENABLED
+    serial_context child(work_, ped::mix(ped_hash_, rank_));
+    bump_rank();
+#else
     serial_context child(work_);
+#endif
     return std::forward<Fn>(fn)(child);
   }
 
@@ -44,25 +68,81 @@ class serial_context {
 
   std::uint64_t accounted_work() const { return *work_; }
 
+#if CILKPP_PEDIGREE_ENABLED
+  /// Strand identity and DPRNG, identical to rt::context's for the same
+  /// strand (same hash chain, same draw indexing).
+  std::uint64_t strand_id() const { return ped::mix(ped_hash_, rank_); }
+  std::uint64_t dprng_draw() { return ped::mix(strand_id(), ++draws_); }
+#endif
+
  private:
+#if CILKPP_PEDIGREE_ENABLED
+  serial_context(std::uint64_t* shared_work, std::uint64_t ped_hash)
+      : work_(shared_work), ped_hash_(ped_hash) {}
+
+  void bump_rank() {
+    ++rank_;
+    draws_ = 0;
+  }
+#else
   explicit serial_context(std::uint64_t* shared_work) : work_(shared_work) {}
+#endif
 
   std::uint64_t own_work_ = 0;
   std::uint64_t* work_;
+#if CILKPP_PEDIGREE_ENABLED
+  std::uint64_t ped_hash_ = ped::root_seed;
+  std::uint64_t rank_ = 0;
+  std::uint64_t draws_ = 0;
+#endif
 };
 
-/// parallel_for lowering under elision: a plain serial loop. Accepts the
-/// same body shapes as the parallel version (body(i) or body(ctx, i)).
+/// parallel_for lowering under elision. Executes the iterations serially in
+/// order, but mirrors the runtime's frame structure exactly — the same call
+/// frame, halving spawns, body(i) inline fast path, and sync — so loop
+/// strands get the same pedigrees under both engines. The default grain is
+/// the runtime's rule at P = 1; pass an explicit grain when comparing
+/// pedigrees or dprng streams against a multi-worker run.
 template <typename Index, typename Body>
-void parallel_for(serial_context& ctx, Index begin, Index end, const Body& body,
-                  std::uint64_t /*grain*/ = 0) {
-  for (Index i = begin; i < end; ++i) {
+void serial_for_impl(serial_context& ctx, Index lo, Index hi, const Body& body,
+                     std::uint64_t grain) {
+  while (static_cast<std::uint64_t>(hi - lo) > grain) {
+    Index mid = lo + (hi - lo) / 2;
+    ctx.spawn([lo, mid, &body, grain](serial_context& child) {
+      serial_for_impl(child, lo, mid, body, grain);
+    });
+    lo = mid;
+  }
+  for (Index i = lo; i < hi; ++i) {
     if constexpr (std::is_invocable_v<const Body&, serial_context&, Index>) {
       body(ctx, i);
     } else {
       body(i);
     }
   }
+  ctx.sync();
+}
+
+template <typename Index, typename Body>
+void parallel_for(serial_context& ctx, Index begin, Index end, const Body& body,
+                  std::uint64_t grain = 0) {
+  if (begin >= end) return;
+  const auto n = static_cast<std::uint64_t>(end - begin);
+  if (grain == 0) {
+    const std::uint64_t slack = n / 8;  // the runtime's default at P = 1
+    grain = slack < 2048 ? slack : 2048;
+    if (grain == 0) grain = 1;
+  }
+  if constexpr (!std::is_invocable_v<const Body&, serial_context&, Index>) {
+    if (n <= grain) {
+      // Mirrors the runtime's inline fast path: no frame, no rank consumed.
+      for (Index i = begin; i < end; ++i) body(i);
+      return;
+    }
+  }
+  ctx.call([&](serial_context& loop_frame) {
+    serial_for_impl(loop_frame, begin, end, body, grain);
+  });
 }
 
 }  // namespace cilkpp::rt

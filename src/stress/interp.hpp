@@ -68,6 +68,16 @@ concept screens_locks = requires(Ctx& ctx) {
   { ctx.screen_detector().register_lock() } -> std::same_as<screen::lock_id>;
 };
 
+/// Engines exposing the pedigree-seeded DPRNG (rt, elision, both screen
+/// engines, replay — everything but the dag recorder; automatically nothing
+/// when CILKPP_PEDIGREE is OFF). Every work leaf and pfor iteration records
+/// one draw, so the oracle can check the stream is a pure function of
+/// strand identity: bit-identical across engines and chaos schedules.
+template <typename Ctx>
+concept has_dprng = requires(Ctx& ctx) {
+  { ctx.dprng_draw() } -> std::same_as<std::uint64_t>;
+};
+
 struct run_state;
 template <typename Ctx>
 void stress_lock(Ctx& ctx, run_state& st, std::uint32_t idx);
@@ -82,11 +92,15 @@ struct run_state {
       : slots(p.num_slots, 0),
         cells(p.num_cells, 0),
         marks(p.num_throws, 0),
+        draws(p.num_slots + p.num_cells, 0),
         mutexes(p.num_locks) {}
 
   std::vector<std::uint64_t> slots;  ///< one per work leaf
   std::vector<std::uint64_t> cells;  ///< one per pfor iteration
   std::vector<std::uint64_t> marks;  ///< one per throw_last (catch receipt)
+  /// One DPRNG draw per work leaf (indexed by slot) and pfor iteration
+  /// (offset by num_slots); all-zero under engines without dprng_draw.
+  std::vector<std::uint64_t> draws;
   /// lock_block backing: real mutexes under the threaded runtime…
   std::vector<cilk::mutex> mutexes;
   /// …and detector lock ids under the screen engines (registered lazily
@@ -137,8 +151,16 @@ struct run_result {
   std::uint64_t checksum = 0;  ///< order-sensitive fold of all outputs
   std::uint64_t radd = 0;
   std::vector<std::uint32_t> rlist;
+  /// Fold of every DPRNG draw (0 when the engine has none). NOT part of
+  /// operator==: the recorder legitimately draws nothing, and elision's
+  /// stream diverges after a throw (sync never runs, so its rank bump is
+  /// skipped). The oracle compares draw signatures explicitly where the
+  /// engines' rank sequences provably coincide.
+  std::uint64_t draw_sig = 0;
 
-  bool operator==(const run_result&) const = default;
+  bool operator==(const run_result& o) const {
+    return checksum == o.checksum && radd == o.radd && rlist == o.rlist;
+  }
 };
 
 template <typename Ctx>
@@ -171,6 +193,7 @@ void interp(Ctx& ctx, const program& p, const prog_node& n, run_state& st) {
     case op::work: {
       ctx.account(n.cost);
       noted_store(ctx, st.slots[n.slot], contrib(p.seed, n.id));
+      if constexpr (has_dprng<Ctx>) st.draws[n.slot] = ctx.dprng_draw();
       if (n.radd) st.radd.view(ctx) += contrib(p.seed, n.id, 1);
       if (n.rlist) st.rlist.view(ctx).push_back(n.id);
       break;
@@ -184,6 +207,9 @@ void interp(Ctx& ctx, const program& p, const prog_node& n, run_state& st) {
             leaf.account(np->cost);
             noted_store(leaf, st.cells[np->cell_base + i],
                         contrib(p.seed, np->id, i + 1));
+            if constexpr (has_dprng<Ctx>) {
+              st.draws[p.num_slots + np->cell_base + i] = leaf.dprng_draw();
+            }
             if (np->radd) {
               st.radd.view(leaf) += contrib(p.seed, np->id, i + 0x10001);
             }
@@ -243,6 +269,9 @@ inline run_result finish(const program& p, run_state& st) {
   h = hash_combine(h, r.radd);
   for (std::uint32_t v : r.rlist) h = hash_combine(h, v);
   r.checksum = h;
+  std::uint64_t ds = p.seed;
+  for (std::uint64_t v : st.draws) ds = hash_combine(ds, v);
+  r.draw_sig = ds;
   return r;
 }
 

@@ -13,6 +13,7 @@
 #include "lint/report.hpp"
 #include "runtime/task_pool.hpp"
 #include "sim/machine.hpp"
+#include "stress/replay.hpp"
 
 namespace cilkpp::stress {
 
@@ -54,7 +55,7 @@ std::string diff_results(const run_result& want, const run_result& got) {
 }  // namespace
 
 std::string stress_failure::describe() const {
-  return fmt(
+  std::string s = fmt(
       "stress oracle '%s' failed: %s\n"
       "  REPRO: program_seed=%llu chaos_seed=%llu workers=%u size=%u\n"
       "  (stress_harness{}.run_case({%lluULL, %lluULL, %uU, %uU}, report) "
@@ -64,6 +65,15 @@ std::string stress_failure::describe() const {
       static_cast<unsigned long long>(c.chaos_seed), c.workers, c.size,
       static_cast<unsigned long long>(c.program_seed),
       static_cast<unsigned long long>(c.chaos_seed), c.workers, c.size);
+  if (!pedigree.empty()) {
+    s += fmt(
+        "\n  REPLAY: strand pedigree %s\n"
+        "  (stress::replay_strand(generate_program(%lluULL, %uU), "
+        "ped::parse(\"%s\")) re-runs just that strand)",
+        pedigree.c_str(), static_cast<unsigned long long>(c.program_seed),
+        c.size, pedigree.c_str());
+  }
+  return s;
 }
 
 std::vector<std::uint64_t> default_chaos_seeds() {
@@ -109,8 +119,20 @@ rt::scheduler& stress_harness::sched_for(unsigned workers) {
 void stress_harness::run_case(const stress_case& c, fuzz_report& rep) {
   const program p = generate_program(c.program_seed, c.size);
   auto fail = [&](const char* oracle, std::string detail) {
-    rep.failures.push_back(stress_failure{c, oracle, std::move(detail)});
+    rep.failures.push_back(stress_failure{c, oracle, std::move(detail), {}});
   };
+#if CILKPP_PEDIGREE_ENABLED
+  // Localize a failure to the strand that wrote output `out` (slot index,
+  // or num_slots + cell index): the last-pushed failure gains a REPLAY
+  // pedigree, making it reproducible without any schedule.
+  auto attach_pedigree = [&](std::size_t out) {
+    if (rep.failures.empty()) return;
+    const ped::pedigree pg = out < p.num_slots
+                                 ? pedigree_of_slot(p, out)
+                                 : pedigree_of_cell(p, out - p.num_slots);
+    rep.failures.back().pedigree = ped::to_string(pg);
+  };
+#endif
 
   // --- Reference: serial elision. ---
   run_state serial_st(p);
@@ -222,6 +244,9 @@ void stress_harness::run_case(const stress_case& c, fuzz_report& rep) {
   // analyzer rides along on the same run: generated programs are also
   // well-disciplined by construction (disjoint lock pools — see
   // program.hpp), so any lint record is a bug too.
+#if CILKPP_PEDIGREE_ENABLED
+  std::vector<std::uint64_t> screen_draws;
+#endif
   {
     run_state scr_st(p);
     screen::detector d;
@@ -236,6 +261,26 @@ void stress_harness::run_case(const stress_case& c, fuzz_report& rep) {
     if (!(scr_r == serial_r)) {
       fail("screen-differs", diff_results(serial_r, scr_r));
     }
+#if CILKPP_PEDIGREE_ENABLED
+    // DPRNG cross-engine determinism: a draw is a pure function of strand
+    // identity, so elision and the detector's elision-order run must draw
+    // the identical stream. (The comparison skips programs with throws:
+    // elision's post-catch ranks legitimately diverge — its sync never
+    // executes — while the screen engines traverse without throwing.)
+    if (p.num_throws == 0 && scr_st.draws != serial_st.draws) {
+      std::size_t bad = 0;
+      while (bad < scr_st.draws.size() &&
+             scr_st.draws[bad] == serial_st.draws[bad]) {
+        ++bad;
+      }
+      fail("dprng-engine-differs",
+           fmt("draw[%zu] = %llx under elision, %llx under cilkscreen", bad,
+               static_cast<unsigned long long>(serial_st.draws[bad]),
+               static_cast<unsigned long long>(scr_st.draws[bad])));
+      attach_pedigree(bad);
+    }
+    screen_draws = std::move(scr_st.draws);
+#endif
     if (d.found_races()) {
       fail("screen-false-race",
            fmt("%zu report(s) on a race-free program:\n%s", d.races().size(),
@@ -293,7 +338,40 @@ void stress_harness::run_case(const stress_case& c, fuzz_report& rep) {
   rep.fingerprint = hash_combine(rep.fingerprint, rt_r.checksum);
   if (!(rt_r == serial_r)) {
     fail("runtime-differs", diff_results(serial_r, rt_r));
+#if CILKPP_PEDIGREE_ENABLED
+    for (std::size_t i = 0; i < serial_st.slots.size(); ++i) {
+      if (rt_st.slots[i] != serial_st.slots[i]) {
+        attach_pedigree(i);
+        break;
+      }
+    }
+    if (rep.failures.back().pedigree.empty()) {
+      for (std::size_t i = 0; i < serial_st.cells.size(); ++i) {
+        if (rt_st.cells[i] != serial_st.cells[i]) {
+          attach_pedigree(serial_st.slots.size() + i);
+          break;
+        }
+      }
+    }
+#endif
   }
+#if CILKPP_PEDIGREE_ENABLED
+  // Schedule independence of strand identity: steals never rename a strand,
+  // so the chaos-scheduled run draws the exact stream the detector's serial
+  // run drew — for every chaos seed, bit for bit.
+  if (rt_st.draws != screen_draws) {
+    std::size_t bad = 0;
+    while (bad < rt_st.draws.size() && rt_st.draws[bad] == screen_draws[bad]) {
+      ++bad;
+    }
+    fail("dprng-schedule-differs",
+         fmt("draw[%zu] = %llx under cilkscreen, %llx under chaos seed %llu",
+             bad, static_cast<unsigned long long>(screen_draws[bad]),
+             static_cast<unsigned long long>(rt_st.draws[bad]),
+             static_cast<unsigned long long>(c.chaos_seed)));
+    attach_pedigree(bad);
+  }
+#endif
 
   // --- Scheduler invariants, once quiescent. ---
   if (!wait_task_pool_balanced()) {

@@ -50,8 +50,14 @@ struct stress_failure {
   stress_case c;
   std::string oracle;  ///< which oracle fired (e.g. "runtime-differs")
   std::string detail;
+  /// When the failure localizes to one output, the pedigree of the strand
+  /// that produced it (empty otherwise): seed + pedigree is a complete,
+  /// schedule-free repro — stress::replay_strand re-executes just that
+  /// strand's spine.
+  std::string pedigree;
 
-  /// Human-readable report whose REPRO line replays this exact case.
+  /// Human-readable report whose REPRO line replays this exact case (plus a
+  /// REPLAY line when a strand pedigree was captured).
   std::string describe() const;
 };
 

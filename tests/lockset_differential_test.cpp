@@ -57,9 +57,16 @@ void random_lock_program(Ctx& ctx, xoshiro256& rng, unsigned d,
   if (rng.below(2) == 0) ctx.sync();
 }
 
+struct verdict {
+  std::vector<bool> flagged;
+  std::uint64_t spills = 0;
+  /// Pedigree-keyed, address-free digest of the full report set
+  /// (race_types.hpp): the cross-engine / cross-run comparison key.
+  std::uint64_t fingerprint = 0;
+};
+
 template <typename Detector>
-std::pair<std::vector<bool>, std::uint64_t> engine_verdict(
-    std::uint64_t seed) {
+verdict engine_verdict(std::uint64_t seed) {
   Detector d;
   std::vector<cell<int>> vars(nvars);
   std::vector<basic_screen_mutex<Detector>> locks;
@@ -92,7 +99,8 @@ std::pair<std::vector<bool>, std::uint64_t> engine_verdict(
         flagged[v] = true;
     }
   }
-  return {std::move(flagged), d.stats().history_spills};
+  return {std::move(flagged), d.stats().history_spills,
+          report_set_fingerprint(d.races())};
 }
 
 std::vector<bool> ground_truth(std::uint64_t seed) {
@@ -129,20 +137,37 @@ std::vector<bool> ground_truth(std::uint64_t seed) {
 
 TEST(LocksetDifferential, BothEnginesMatchGroundTruthOn1000Programs) {
   for (std::uint64_t seed = 1; seed <= 1000; ++seed) {
-    const auto [spbags, spbags_spills] = engine_verdict<detector>(seed);
-    const auto [sporder, sporder_spills] =
-        engine_verdict<order_detector>(seed);
+    const verdict spbags = engine_verdict<detector>(seed);
+    const verdict sporder = engine_verdict<order_detector>(seed);
     const std::vector<bool> truth = ground_truth(seed);
     for (unsigned v = 0; v < nvars; ++v) {
-      ASSERT_EQ(spbags[v], truth[v])
+      ASSERT_EQ(spbags.flagged[v], truth[v])
           << "SP-bags disagrees with ground truth, var " << v << " seed "
           << seed;
-      ASSERT_EQ(sporder[v], truth[v])
+      ASSERT_EQ(sporder.flagged[v], truth[v])
           << "SP-order disagrees with ground truth, var " << v << " seed "
           << seed;
     }
-    ASSERT_EQ(spbags_spills, 0u) << "seed " << seed;
-    ASSERT_EQ(sporder_spills, 0u) << "seed " << seed;
+    ASSERT_EQ(spbags.spills, 0u) << "seed " << seed;
+    ASSERT_EQ(sporder.spills, 0u) << "seed " << seed;
+    // The pedigree-keyed report fingerprint is the cross-engine identity
+    // check: both engines must produce the bit-identical report SET for the
+    // same program — same races, same endpoints, same strand pedigrees —
+    // even though their internal strand representations (proc ids vs
+    // order-maintenance nodes) and every address differ between the runs.
+    ASSERT_EQ(spbags.fingerprint, sporder.fingerprint) << "seed " << seed;
+  }
+}
+
+TEST(LocksetDifferential, FingerprintIsStableAcrossRepeatRuns) {
+  // Two independent executions of the same seeded program allocate their
+  // cells and locks at different addresses; the address-free fingerprint
+  // must not notice. (This is the in-process stand-in for comparing report
+  // sets across ASLR'd processes or reruns under different chaos seeds.)
+  for (std::uint64_t seed : {7ULL, 42ULL, 640ULL}) {
+    const verdict a = engine_verdict<detector>(seed);
+    const verdict b = engine_verdict<detector>(seed);
+    EXPECT_EQ(a.fingerprint, b.fingerprint) << "seed " << seed;
   }
 }
 

@@ -537,6 +537,8 @@ TEST(EdgeCases, ManyWorkersOversubscribedSmoke) {
 }
 
 // --- Pedigrees and deterministic parallel RNG. ---
+// (The rank-list machinery compiles out with -DCILKPP_PEDIGREE=OFF.)
+#if CILKPP_PEDIGREE_ENABLED
 
 // Collect (strand_id, first dprng draw) along a fixed spawn tree.
 void collect_ids(context& ctx, int depth,
@@ -622,6 +624,8 @@ TEST(Pedigree, DprngStreamIsDeterministic) {
   };
   EXPECT_EQ(draws(1), draws(4));
 }
+
+#endif  // CILKPP_PEDIGREE_ENABLED
 
 // --- Task pool. ---
 

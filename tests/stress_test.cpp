@@ -10,6 +10,7 @@
 #include <chrono>
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <stdexcept>
 #include <thread>
 
@@ -21,6 +22,7 @@
 #include "stress/interp.hpp"
 #include "stress/oracle.hpp"
 #include "stress/program.hpp"
+#include "stress/replay.hpp"
 
 namespace {
 
@@ -160,6 +162,101 @@ TEST(Interp, RecorderAndScreenMatchElision) {
     EXPECT_FALSE(d.found_races()) << seed;
   }
 }
+
+#if CILKPP_PEDIGREE_ENABLED
+
+// --- Schedule independence: strand identity is a pure function of program
+// structure, so every pedigree-keyed output — the DPRNG stream, the run
+// checksum — must be bit-identical whichever schedule executed it. ---
+
+TEST(ScheduleIndependence, DrawStreamIdenticalAcrossAllEightChaosSeeds) {
+  const program p = generate_program(2026, 16);
+
+  // Reference: the SP-bags engine's serial elision-order run.
+  run_state ref_st(p);
+  screen::detector d;
+  screen::run_under_detector(d, [&](screen::screen_context& ctx) {
+    interp(ctx, p, p.root, ref_st);
+  });
+  const run_result ref_r = finish(p, ref_st);
+
+  // Policies declared before the scheduler: workers may touch the installed
+  // policy until the scheduler is destroyed.
+  std::vector<std::unique_ptr<seeded_chaos>> policies;
+  rt::scheduler sched(4);
+  for (const std::uint64_t cs : default_chaos_seeds()) {
+    policies.push_back(
+        cs == 0 ? std::make_unique<seeded_chaos>(chaos_params{}, 0,
+                                                 sched.num_workers())
+                : std::make_unique<seeded_chaos>(cs, sched.num_workers()));
+    sched.install_chaos(policies.back().get());
+    run_state st(p);
+    sched.run([&](rt::context& ctx) { interp(ctx, p, p.root, st); });
+    sched.remove_chaos();
+    const run_result r = finish(p, st);
+    // Every single DPRNG draw, not just the fold, is bit-identical.
+    EXPECT_EQ(st.draws, ref_st.draws) << "chaos seed " << cs;
+    EXPECT_EQ(r.draw_sig, ref_r.draw_sig) << "chaos seed " << cs;
+    EXPECT_TRUE(r == ref_r) << "chaos seed " << cs;
+  }
+}
+
+// --- Seed + pedigree replay: the failing-strand workflow. ---
+
+TEST(Replay, SeedPlusPedigreeReproducesTheTargetStrand) {
+  const program p = generate_program(77, 14);
+  ASSERT_GT(p.num_slots, 0u);
+  run_state ref(p);
+  rt::serial_context sctx;
+  interp(sctx, p, p.root, ref);
+
+  // The workflow a failure report drives: map the suspect output to its
+  // strand, print the pedigree, parse it back, replay only that strand.
+  const std::size_t victim = p.num_slots / 2;
+  const ped::pedigree target = pedigree_of_slot(p, victim);
+  ASSERT_FALSE(target.empty());
+  const ped::pedigree reparsed = ped::parse(ped::to_string(target));
+  EXPECT_EQ(reparsed, target);
+
+  run_state st(p);
+  ped::replay_context rctx(reparsed);
+  interp(rctx, p, p.root, st);
+  EXPECT_TRUE(rctx.reached());
+  // The replayed strand recomputes exactly the value the full run produced.
+  EXPECT_EQ(st.slots[victim], ref.slots[victim]);
+  EXPECT_LE(rctx.executed_work(), sctx.accounted_work());
+}
+
+TEST(Replay, ReplayOutcomeSummarizesThePrunedRun) {
+  // First seed from 321 up whose program has at least two work leaves
+  // (deterministic: the generator is a pure function of the seed).
+  std::uint64_t seed = 321;
+  program p = generate_program(seed, 16);
+  while (p.num_slots <= 1) p = generate_program(++seed, 16);
+  const ped::pedigree target = pedigree_of_slot(p, p.num_slots - 1);
+  ASSERT_FALSE(target.empty());
+  const replay_outcome o = replay_strand(p, target);
+  EXPECT_TRUE(o.reached);
+  EXPECT_GT(o.frames_entered, 0u);
+  EXPECT_LE(o.executed_work, p.expected_work);
+}
+
+TEST(Oracle, FailureReportCarriesReplayPedigree) {
+  stress_failure f;
+  f.c = stress_case{5, 13, 4, 14};
+  f.oracle = "runtime-differs";
+  f.detail = "checksum mismatch";
+  f.pedigree = "<0,2,1>";
+  const std::string s = f.describe();
+  EXPECT_NE(s.find("REPLAY"), std::string::npos);
+  EXPECT_NE(s.find("<0,2,1>"), std::string::npos);
+  EXPECT_NE(s.find("replay_strand"), std::string::npos);
+  // Without a pedigree the REPLAY line is absent.
+  f.pedigree.clear();
+  EXPECT_EQ(f.describe().find("REPLAY"), std::string::npos);
+}
+
+#endif  // CILKPP_PEDIGREE_ENABLED
 
 #if CILKPP_LINT_ENABLED
 
