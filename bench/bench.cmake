@@ -19,6 +19,13 @@ cilkpp_add_bench(bench_spawn_path cilkpp_workloads cilkpp_runtime cilkpp_support
 cilkpp_add_bench(bench_stack_space cilkpp_dag cilkpp_sim)
 cilkpp_add_bench(bench_steal_frequency cilkpp_dag cilkpp_sim cilkpp_workloads)
 cilkpp_add_bench(bench_multiprogramming cilkpp_dag cilkpp_sim)
+if(CILKPP_SERVE)
+  # The real-runtime shared-vs-partitioned leg of E9 rides along when the
+  # serving layer is built.
+  target_compile_definitions(bench_multiprogramming PRIVATE CILKPP_BENCH_SERVE=1)
+  target_link_libraries(bench_multiprogramming PRIVATE cilkpp_serve cilkpp_workloads)
+  cilkpp_add_bench(bench_jobserver cilkpp_serve cilkpp_workloads)
+endif()
 cilkpp_add_bench(bench_composability cilkpp_dag cilkpp_sim cilkpp_workloads)
 cilkpp_add_bench(bench_cilkscreen cilkpp_cilkscreen cilkpp_workloads cilkpp_dag)
 cilkpp_add_bench(bench_reducer_vs_mutex cilkpp_workloads cilkpp_dag cilkpp_sim)

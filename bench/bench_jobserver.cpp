@@ -1,0 +1,237 @@
+// Tail-latency benchmark for the cilk::serve job server (the ISSUE's
+// serving criterion). Thousands of small fib / qsort / spmv jobs flow from
+// several submitter threads through three tenants on two isolated runtimes;
+// the artifact — BENCH_jobserver.json, same mold as BENCH_spawn_path.json —
+// reports overall jobs/sec plus per-tenant p50/p99/p999 for queue wait,
+// execution, and end-to-end latency, and CI's perf-smoke job archives and
+// sanity-checks it.
+//
+// Jobs are deliberately tiny (tens of microseconds): the point is to stress
+// admission, batching, and dispatch — the per-job server overhead — not the
+// workloads themselves. Thresholds are catastrophic-only: ≥10k jobs/sec
+// sustained and a sub-second p999, an order of magnitude from today's
+// numbers even on the 1-core CI host.
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/job_server.hpp"
+#include "serve/runtime_set.hpp"
+#include "support/stats.hpp"
+#include "support/timing.hpp"
+#include "workloads/fib.hpp"
+#include "workloads/qsort.hpp"
+#include "workloads/sparse.hpp"
+#include "workloads/spmv.hpp"
+
+namespace {
+
+using namespace cilkpp;
+using namespace cilkpp::serve;
+
+constexpr std::size_t kJobsPerTenant = 4000;  // 12k jobs total
+constexpr std::size_t kSubmitters = 3;        // one per tenant
+
+void emit_histogram(json_writer& w, const char* key,
+                    const latency_histogram& h) {
+  w.key(key);
+  w.begin_object();
+  w.field("count", h.total());
+  if (h.total() > 0) {
+    w.field("min_ns", h.min());
+    w.field("mean_ns", h.mean());
+    w.field("p50_ns", h.p50());
+    w.field("p90_ns", h.p90());
+    w.field("p99_ns", h.p99());
+    w.field("p999_ns", h.p999());
+    w.field("max_ns", h.max());
+  }
+  w.end_object();
+}
+
+void emit_tenant(json_writer& w, const tenant_stats& s) {
+  w.begin_object();
+  w.field("tenant", s.name);
+  w.field("submitted", s.submitted);
+  w.field("rejected", s.rejected);
+  w.field("completed", s.completed);
+  emit_histogram(w, "queue", s.latency.queue_ns());
+  emit_histogram(w, "exec", s.latency.exec_ns());
+  emit_histogram(w, "total", s.latency.total_ns());
+  w.end_object();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = "BENCH_jobserver.json";
+  if (argc > 1) out_path = argv[1];
+
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+
+  // Two isolated runtimes splitting the machine; tenants: a fib tenant on
+  // rt0, qsort + spmv tenants sharing rt1.
+  runtime_set set(runtime_set::partitioned(2));
+
+  tenant_options fib_t;
+  fib_t.name = "fib";
+  fib_t.runtime = 0;
+  fib_t.queue_capacity = 1024;
+  fib_t.policy = admission::block;
+  fib_t.batch_max = 64;
+  tenant_options qsort_t;
+  qsort_t.name = "qsort";
+  qsort_t.runtime = 1;
+  qsort_t.queue_capacity = 1024;
+  qsort_t.policy = admission::block;
+  qsort_t.batch_max = 32;
+  tenant_options spmv_t;
+  spmv_t.name = "spmv";
+  spmv_t.runtime = 1;
+  spmv_t.queue_capacity = 1024;
+  spmv_t.policy = admission::block;
+  spmv_t.batch_max = 32;
+
+  job_server srv(set, {fib_t, qsort_t, spmv_t});
+
+  // Shared read-only inputs, prepared up front.
+  const std::vector<double> unsorted = workloads::random_doubles(192, 42);
+  const workloads::csr mat = workloads::random_sparse_matrix(64, 8, 7);
+  const std::vector<double> x(mat.rows(), 1.0);
+
+  // Warmup: a slice of each job kind through the full path.
+  for (int i = 0; i < 64; ++i) {
+    srv.submit(0, [](rt::context& ctx) {
+      return workloads::fib(ctx, 14, 14);
+    }).get();
+  }
+  srv.drain();
+  set.reset_stats();
+  srv.reset_stats();
+
+  stopwatch sw;
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  // Tenant 0: serial-leaf fib jobs (pure compute, no internal spawns).
+  submitters.emplace_back([&] {
+    for (std::size_t i = 0; i < kJobsPerTenant; ++i) {
+      auto f = srv.try_submit(0, [](rt::context& ctx) {
+        return workloads::fib(ctx, 14, 14);
+      });
+      if (f) do_not_optimize(f->get());
+    }
+  });
+  // Tenant 1: small sorts (each job copies then sorts 192 doubles; the
+  // cutoff keeps it serial — a job is one request, not one program).
+  submitters.emplace_back([&] {
+    for (std::size_t i = 0; i < kJobsPerTenant; ++i) {
+      auto f = srv.try_submit(1, [&unsorted](rt::context& ctx) {
+        std::vector<double> v = unsorted;
+        workloads::qsort(ctx, v.begin(), v.end());
+        return v.front();
+      });
+      if (f) do_not_optimize(f->get());
+    }
+  });
+  // Tenant 2: spmv jobs — these DO spawn internally (parallel_for over
+  // rows), exercising server-dispatch composed with in-job parallelism.
+  submitters.emplace_back([&] {
+    for (std::size_t i = 0; i < kJobsPerTenant; ++i) {
+      auto f = srv.try_submit(2, [&mat, &x](rt::context& ctx) {
+        return workloads::spmv(ctx, mat, x, 16).front();
+      });
+      if (f) do_not_optimize(f->get());
+    }
+  });
+  for (auto& t : submitters) t.join();
+  srv.drain();
+  const double elapsed_s = sw.elapsed_s();
+
+  const tenant_stats tstats[] = {srv.tenant_snapshot(0), srv.tenant_snapshot(1),
+                                 srv.tenant_snapshot(2)};
+  std::uint64_t completed = 0;
+  latency_histogram all_total;
+  for (const tenant_stats& s : tstats) {
+    completed += s.completed;
+    all_total.merge(s.latency.total_ns());
+  }
+  const double jobs_per_sec =
+      elapsed_s > 0 ? static_cast<double>(completed) / elapsed_s : 0;
+
+  const isolation_report iso = set.verify_isolation();
+
+  // Catastrophic-only thresholds (see header comment).
+  constexpr double jobs_per_sec_min = 10'000.0;
+  constexpr double p999_ns_max = 1e9;  // a sub-second tail, even on 1 core
+  bool ok = true;
+  if (jobs_per_sec < jobs_per_sec_min) {
+    std::fprintf(stderr, "FAIL: %.0f jobs/s < %.0f\n", jobs_per_sec,
+                 jobs_per_sec_min);
+    ok = false;
+  }
+  if (all_total.total() > 0 &&
+      static_cast<double>(all_total.p999()) > p999_ns_max) {
+    std::fprintf(stderr, "FAIL: p999 %.0f ns > %.0f ns\n",
+                 static_cast<double>(all_total.p999()), p999_ns_max);
+    ok = false;
+  }
+  if (completed != kJobsPerTenant * 3) {
+    std::fprintf(stderr, "FAIL: completed %llu != %zu\n",
+                 static_cast<unsigned long long>(completed),
+                 kJobsPerTenant * 3);
+    ok = false;
+  }
+  if (!iso.isolated) {
+    std::fprintf(stderr, "FAIL: isolation audit failed\n");
+    ok = false;
+  }
+
+  json_writer w;
+  w.begin_object();
+  w.field("benchmark", "jobserver");
+  w.field("hardware_concurrency", hw);
+  w.field("runtimes", static_cast<std::uint64_t>(set.size()));
+  w.field("submitters", static_cast<std::uint64_t>(kSubmitters));
+  w.field("jobs_completed", completed);
+  w.field("elapsed_s", elapsed_s);
+  w.field("jobs_per_sec", jobs_per_sec);
+  emit_histogram(w, "total_all_tenants", all_total);
+  w.key("tenants");
+  w.begin_array();
+  for (const tenant_stats& s : tstats) emit_tenant(w, s);
+  w.end_array();
+  w.key("isolation");
+  w.begin_object();
+  w.field("isolated", iso.isolated);
+  w.key("instances");
+  w.begin_array();
+  for (const instance_isolation& inst : iso.instances) {
+    w.begin_object();
+    w.field("name", inst.name);
+    w.field("workers", inst.workers);
+    w.field("steals", inst.steals);
+    w.field("self_steals", inst.self_steals);
+    w.field("provenance_consistent", inst.consistent());
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  w.key("thresholds");
+  w.begin_object();
+  w.field("jobs_per_sec_min", jobs_per_sec_min);
+  w.field("p999_ns_max", p999_ns_max);
+  w.field("passed", ok);
+  w.end_object();
+  w.end_object();
+
+  const std::string doc = w.take();
+  std::ofstream out(out_path);
+  out << doc;
+  out.close();
+  std::printf("%s", doc.c_str());
+  std::printf("wrote %s\n", out_path);
+  return ok ? 0 : 1;
+}

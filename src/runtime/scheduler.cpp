@@ -2,19 +2,51 @@
 
 #include "runtime/scheduler.hpp"
 
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 namespace cilkpp::rt {
 
 namespace {
 thread_local worker* tl_worker = nullptr;
+
+/// Best-effort single-thread pinning; false when unsupported or refused
+/// (restricted cgroups, exotic platforms). Callers never rely on success.
+bool bind_this_thread(const std::vector<unsigned>& cpus) {
+  if (cpus.empty()) return false;
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  for (unsigned c : cpus) {
+    if (c < CPU_SETSIZE) CPU_SET(c, &set);
+  }
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  return false;
+#endif
+}
 }  // namespace
 
 worker* scheduler::current_worker() { return tl_worker; }
 void scheduler::set_current_worker(worker* w) { tl_worker = w; }
 
-scheduler::scheduler(unsigned workers) {
-  unsigned count = workers;
+bool scheduler::set_thread_affinity(const std::vector<unsigned>& cpus) {
+  return bind_this_thread(cpus);
+}
+
+bool scheduler::pin_caller() const {
+  if (options_.affinity.empty()) return false;
+  return bind_this_thread({options_.affinity.front()});
+}
+
+scheduler::scheduler(scheduler_options options) : options_(std::move(options)) {
+  unsigned count = options_.workers;
   if (count == 0) {
-    count = std::thread::hardware_concurrency();
+    count = options_.affinity.empty()
+                ? std::thread::hardware_concurrency()
+                : static_cast<unsigned>(options_.affinity.size());
     if (count == 0) count = 1;
   }
   std::uint64_t seed_state = 0x2545f4914f6cdd1dULL;
@@ -24,9 +56,19 @@ scheduler::scheduler(unsigned workers) {
         std::make_unique<worker>(i, this, splitmix64(seed_state), count));
   }
   // Worker 0 is the thread that calls run(); the pool provides the rest.
+  // Each pool thread pins itself before entering worker_main so every task
+  // it ever executes runs inside this instance's CPU partition; worker 0's
+  // pinning is the dedicated caller's job (pin_caller).
   threads_.reserve(count - 1);
   for (unsigned i = 1; i < count; ++i) {
-    threads_.emplace_back([this, i] { worker_main(i); });
+    threads_.emplace_back([this, i] {
+      const std::vector<unsigned>& mask = options_.affinity;
+      if (!mask.empty() &&
+          bind_this_thread({mask[i % mask.size()]})) {
+        affinity_applied_.fetch_add(1, std::memory_order_acq_rel);
+      }
+      worker_main(i);
+    });
   }
 }
 

@@ -35,6 +35,7 @@
 #include <exception>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <type_traits>
 #include <utility>
@@ -421,13 +422,36 @@ class context {
   std::atomic<bool> child_delivered_{false};
 };
 
+/// Construction-time configuration for a scheduler instance. A process may
+/// own many independent schedulers (src/serve's runtime_set builds on this):
+/// each gets its own worker pool, deques, and statistics, and a thief only
+/// ever probes deques of its own instance — cross-instance stealing is
+/// impossible by construction, which is what makes instances *tenants*.
+struct scheduler_options {
+  /// 0 = one worker per hardware thread, unless `affinity` is non-empty, in
+  /// which case 0 = one worker per listed CPU.
+  unsigned workers = 0;
+  /// CPU ids this instance's workers are pinned to (worker i gets
+  /// affinity[i mod affinity.size()], so a mask smaller than the worker
+  /// count round-robins). Pool threads pin themselves at startup via
+  /// pthread_setaffinity_np; off Linux the list is recorded but pinning is
+  /// a no-op. Worker 0 is the thread that calls run() — the runtime never
+  /// re-pins a caller's thread behind its back; call pin_caller() from a
+  /// thread you dedicate to this instance (job_server's dispatchers do).
+  std::vector<unsigned> affinity;
+  /// Instance label for stats, benches, and failure reports.
+  std::string name;
+};
+
 /// The work-stealing scheduler. Owns P workers; P-1 pool threads plus the
 /// thread that calls run(). Safe to construct/destroy repeatedly; run() may
 /// be called many times, from one thread at a time.
 class scheduler {
  public:
   /// workers == 0 means one per hardware thread.
-  explicit scheduler(unsigned workers = 0);
+  explicit scheduler(unsigned workers = 0)
+      : scheduler(scheduler_options{workers, {}, {}}) {}
+  explicit scheduler(scheduler_options options);
   ~scheduler();
 
   scheduler(const scheduler&) = delete;
@@ -440,6 +464,28 @@ class scheduler {
   auto run(Fn&& fn) -> decltype(fn(std::declval<context&>()));
 
   unsigned num_workers() const { return static_cast<unsigned>(workers_.size()); }
+
+  const scheduler_options& options() const { return options_; }
+  const std::string& name() const { return options_.name; }
+
+  /// Pins the *calling* thread to this instance's worker-0 CPU (the first
+  /// entry of the affinity mask). run() executes worker 0 on the caller's
+  /// thread, so a thread dedicated to this instance calls this once to
+  /// complete the pinning the pool threads already did for workers 1..P-1.
+  /// Returns false (and changes nothing) when no mask is configured or the
+  /// platform cannot pin (non-Linux, restricted container).
+  bool pin_caller() const;
+
+  /// How many pool threads successfully pinned themselves at startup
+  /// (0 when no affinity mask was given; at most num_workers()-1).
+  unsigned affinity_applied() const {
+    return affinity_applied_.load(std::memory_order_acquire);
+  }
+
+  /// Binds the calling thread to exactly the given CPU set. Returns false
+  /// if the set is empty or the platform refuses (non-Linux builds always
+  /// return false; callers must treat pinning as best-effort).
+  static bool set_thread_affinity(const std::vector<unsigned>& cpus);
 
   /// Aggregate statistics since construction / last reset.
   ///
@@ -489,10 +535,12 @@ class scheduler {
   static worker* current_worker();
   static void set_current_worker(worker* w);
 
+  scheduler_options options_;
   std::vector<std::unique_ptr<worker>> workers_;
   std::vector<std::thread> threads_;
   std::atomic<bool> shutdown_{false};
   std::atomic<bool> run_active_{false};
+  std::atomic<unsigned> affinity_applied_{0};
 
   // Idle parking: workers nap when the whole system looks empty, under the
   // register→recheck→wait protocol (see worker_main): a worker increments
@@ -627,4 +675,5 @@ auto scheduler::run(Fn&& fn) -> decltype(fn(std::declval<context&>())) {
 namespace cilk {
 using context = cilkpp::rt::context;
 using scheduler = cilkpp::rt::scheduler;
+using scheduler_options = cilkpp::rt::scheduler_options;
 }  // namespace cilk

@@ -1,0 +1,196 @@
+#include "serve/job_server.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace cilkpp::serve {
+
+job_server::job_server(runtime_set& runtimes,
+                       std::vector<tenant_options> tenants)
+    : runtimes_(runtimes),
+      tenants_of_runtime_(runtimes.size()),
+      rr_cursor_(runtimes.size(), 0) {
+  CILKPP_ASSERT(!tenants.empty(), "job_server needs at least one tenant");
+  tenants_.reserve(tenants.size());
+  for (std::size_t t = 0; t < tenants.size(); ++t) {
+    tenant_options& opt = tenants[t];
+    CILKPP_ASSERT(opt.runtime < runtimes_.size(),
+                  "tenant_options.runtime out of range");
+    CILKPP_ASSERT(opt.queue_capacity > 0, "tenant queue_capacity must be >= 1");
+    if (opt.batch_max == 0) opt.batch_max = 1;
+    tenants_of_runtime_[opt.runtime].push_back(t);
+    tenant_state st;
+    st.opt = std::move(opt);
+    tenants_.push_back(std::move(st));
+  }
+  // One dispatcher per runtime that actually has tenants. Dispatchers are
+  // started last: every field they read is initialized above.
+  for (std::size_t r = 0; r < runtimes_.size(); ++r) {
+    if (tenants_of_runtime_[r].empty()) continue;
+    dispatchers_.emplace_back([this, r] { dispatcher_main(r); });
+  }
+}
+
+job_server::~job_server() { stop(); }
+
+bool job_server::runtime_has_work(std::size_t runtime_index) const {
+  for (std::size_t t : tenants_of_runtime_[runtime_index]) {
+    if (!tenants_[t].queue.empty()) return true;
+  }
+  return false;
+}
+
+bool job_server::admit(std::size_t tenant, std::unique_ptr<job_base> job) {
+  CILKPP_ASSERT(tenant < tenants_.size(), "tenant index out of range");
+  std::unique_lock lock(mu_);
+  tenant_state& t = tenants_[tenant];
+  for (;;) {
+    if (stopping_ || draining_) {
+      ++t.rejected;
+      return false;
+    }
+    if (!t.at_capacity()) break;
+    if (t.opt.policy == admission::reject) {
+      ++t.rejected;
+      return false;
+    }
+    space_cv_.wait(lock);
+  }
+  job->tenant = tenant;
+  job->timing.enqueue_ns = now_ns();
+  t.queue.push_back(std::move(job));
+  ++t.submitted;
+  ++t.inflight;
+  ++total_inflight_;
+  lock.unlock();
+  // All dispatchers share one cv; waking all is simplest and correct (a
+  // dispatcher with no work for its runtime just re-waits). Submission is
+  // the per-job cost; at serve rates this notify is noise next to run().
+  jobs_cv_.notify_all();
+  return true;
+}
+
+void job_server::dispatcher_main(std::size_t runtime_index) {
+  rt::scheduler& sched = runtimes_.at(runtime_index);
+  // This thread is the instance's worker 0 for every batch it dispatches;
+  // complete the pool's pinning with the worker-0 CPU (best-effort).
+  (void)sched.pin_caller();
+
+  std::vector<std::unique_ptr<job_base>> batch;
+  for (;;) {
+    batch.clear();
+    {
+      std::unique_lock lock(mu_);
+      jobs_cv_.wait(lock, [&] {
+        return stopping_ || runtime_has_work(runtime_index);
+      });
+      if (!runtime_has_work(runtime_index)) {
+        // stopping_ and nothing queued for us: every admitted job of our
+        // tenants is done (we ran them) — graceful exit.
+        break;
+      }
+      // Round-robin across this runtime's tenants, taking up to batch_max
+      // from each; the rotating start keeps one chatty tenant from
+      // starving its co-tenants' queues.
+      const std::vector<std::size_t>& order =
+          tenants_of_runtime_[runtime_index];
+      std::size_t& cursor = rr_cursor_[runtime_index];
+      for (std::size_t k = 0; k < order.size(); ++k) {
+        tenant_state& t = tenants_[order[(cursor + k) % order.size()]];
+        const std::size_t take = std::min(t.opt.batch_max, t.queue.size());
+        for (std::size_t i = 0; i < take; ++i) {
+          batch.push_back(std::move(t.queue.front()));
+          t.queue.pop_front();
+        }
+      }
+      cursor = (cursor + 1) % order.size();
+    }
+    // Queue space just opened for blocked submitters.
+    space_cv_.notify_all();
+    if (batch.empty()) continue;
+
+    // One runtime dispatch for the whole batch: a single run() whose root
+    // spawns every job and joins them at its implicit sync. Jobs may spawn
+    // internally; everything stays inside this instance's worker set.
+    sched.run([&](rt::context& ctx) {
+      for (const std::unique_ptr<job_base>& j : batch) {
+        job_base* jp = j.get();
+        ctx.spawn([jp](rt::context& child) { jp->run(child); });
+      }
+    });
+
+    {
+      std::lock_guard lock(mu_);
+      for (const std::unique_ptr<job_base>& j : batch) {
+        tenant_state& t = tenants_[j->tenant];
+        ++t.completed;
+        --t.inflight;
+        --total_inflight_;
+        t.latency.record(j->timing);
+      }
+    }
+    // Quota space opened; drain()ers see progress.
+    space_cv_.notify_all();
+  }
+}
+
+void job_server::drain() {
+  std::unique_lock lock(mu_);
+  draining_ = true;
+  // Blocked submitters must observe draining_ and give up their wait —
+  // they are not admitted, so they do not count toward quiescence.
+  space_cv_.notify_all();
+  space_cv_.wait(lock, [&] { return total_inflight_ == 0; });
+  draining_ = false;
+}
+
+void job_server::stop() {
+  {
+    // Idempotent: a second caller (e.g. the destructor after an explicit
+    // stop) re-signals already-joined dispatchers, which is harmless.
+    std::lock_guard lock(mu_);
+    stopping_ = true;
+  }
+  jobs_cv_.notify_all();
+  space_cv_.notify_all();
+  for (std::thread& d : dispatchers_) {
+    if (d.joinable()) d.join();
+  }
+}
+
+void job_server::reset_stats() {
+  std::lock_guard lock(mu_);
+  for (tenant_state& t : tenants_) {
+    t.submitted = 0;
+    t.rejected = 0;
+    t.completed = 0;
+    t.latency = latency_recorder();
+  }
+}
+
+std::string job_server::tenant_name(std::size_t tenant) const {
+  CILKPP_ASSERT(tenant < tenants_.size(), "tenant index out of range");
+  return tenants_[tenant].opt.name;
+}
+
+tenant_stats job_server::tenant_snapshot(std::size_t tenant) const {
+  CILKPP_ASSERT(tenant < tenants_.size(), "tenant index out of range");
+  std::lock_guard lock(mu_);
+  const tenant_state& t = tenants_[tenant];
+  tenant_stats s;
+  s.name = t.opt.name;
+  s.submitted = t.submitted;
+  s.rejected = t.rejected;
+  s.completed = t.completed;
+  s.inflight = t.inflight;
+  s.latency = t.latency;
+  return s;
+}
+
+std::size_t job_server::inflight() const {
+  std::lock_guard lock(mu_);
+  return total_inflight_;
+}
+
+}  // namespace cilkpp::serve

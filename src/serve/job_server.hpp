@@ -1,0 +1,260 @@
+// cilk::serve — a job-server frontend over isolated runtimes.
+//
+// The missing piece between "a work-stealing scheduler" and "a platform
+// serving heavy traffic" (ROADMAP north star): tenants submit many small
+// independent jobs; the server admits them through bounded per-tenant
+// queues, batches them onto their tenant's runtime so the per-dispatch
+// scheduler overhead is amortized across a whole batch (the Rito & Paulino
+// concern from PAPERS.md — per-job synchronization must stay bounded when
+// thousands of jobs flow through), executes each batch as one
+// scheduler::run with one spawn per job, and records enqueue/start/finish
+// timestamps so tail latency (p50/p99/p999) is a first-class output.
+//
+//   serve::runtime_set rts(serve::runtime_set::partitioned(2));
+//   serve::job_server srv(rts, {
+//       {.name = "sort", .runtime = 0, .queue_capacity = 256,
+//        .policy = serve::admission::block},
+//       {.name = "fib",  .runtime = 1, .queue_capacity = 1024,
+//        .policy = serve::admission::reject, .max_inflight = 2048},
+//   });
+//   auto f = srv.submit(0, [](cilk::context& ctx) { return sort_some(ctx); });
+//   ... f.get() ...
+//   srv.drain();   // flush everything admitted; then keep serving
+//   srv.stop();    // graceful shutdown: drains, then joins dispatchers
+//
+// Threading model: one dispatcher thread per runtime instance (it is that
+// instance's worker 0 and pins itself to the instance's CPU slice);
+// submitters may call submit/try_submit from any number of threads. All
+// queue/quota/stat state lives behind one mutex — the lock is taken per
+// submission and per *batch*, never per spawned job, so the scheduler's
+// lock-free spawn path stays untouched.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "runtime/scheduler.hpp"
+#include "serve/latency.hpp"
+#include "serve/runtime_set.hpp"
+#include "support/timing.hpp"
+
+namespace cilkpp::serve {
+
+/// What a tenant's submit does when its queue is full or its quota is hit.
+enum class admission : std::uint8_t {
+  block,   ///< submit waits for space (backpressure onto the submitter)
+  reject,  ///< submit fails immediately (load shedding)
+};
+
+struct tenant_options {
+  std::string name;
+  /// Index into the runtime_set this tenant's jobs dispatch on. Many
+  /// tenants may share a runtime; one tenant never spans two.
+  std::size_t runtime = 0;
+  /// Bounded admission queue: jobs admitted but not yet dispatched.
+  std::size_t queue_capacity = 1024;
+  admission policy = admission::block;
+  /// Quota: cap on jobs admitted-and-unfinished (queued + executing).
+  /// 0 = no quota beyond the queue bound. A tenant at quota is treated
+  /// exactly like a full queue (block or reject per policy).
+  std::size_t max_inflight = 0;
+  /// Most jobs folded into one scheduler dispatch for this tenant. Bigger
+  /// batches amortize run() overhead; smaller ones bound how long a
+  /// latency-sensitive tenant waits behind its own backlog.
+  std::size_t batch_max = 32;
+};
+
+/// Counters + latency tallies for one tenant; snapshot via
+/// job_server::tenant_snapshot (consistent: taken under the server lock).
+struct tenant_stats {
+  std::string name;
+  std::uint64_t submitted = 0;  ///< admitted jobs
+  std::uint64_t rejected = 0;   ///< refused (full/quota/draining/stopped)
+  std::uint64_t completed = 0;
+  std::uint64_t inflight = 0;   ///< admitted, not yet finished
+  latency_recorder latency;
+};
+
+/// Thrown by submit() (the future-returning form) when admission refuses a
+/// job under the reject policy or during drain/shutdown. try_submit is the
+/// non-throwing alternative.
+class admission_rejected : public std::runtime_error {
+ public:
+  explicit admission_rejected(const std::string& tenant)
+      : std::runtime_error("job_server: admission rejected for tenant '" +
+                           tenant + "'") {}
+};
+
+/// Type-erased unit of admitted work. Timestamps are written single-writer:
+/// enqueue by the admitting submitter (before the job is visible to any
+/// dispatcher), start/finish by the worker strand executing it; the
+/// dispatcher reads them only after its run() returned, which joined every
+/// spawned job.
+class job_base {
+ public:
+  job_base() = default;
+  job_base(const job_base&) = delete;
+  job_base& operator=(const job_base&) = delete;
+  virtual ~job_base() = default;
+
+  void run(rt::context& ctx) noexcept {
+    timing.start_ns = now_ns();
+    run_impl(ctx);
+    timing.finish_ns = now_ns();
+  }
+
+  job_timing timing;
+  std::size_t tenant = 0;
+
+ protected:
+  /// Must not throw: typed_job routes user exceptions into the promise.
+  virtual void run_impl(rt::context& ctx) noexcept = 0;
+};
+
+template <typename Fn, typename R>
+class typed_job final : public job_base {
+ public:
+  explicit typed_job(Fn fn) : fn_(std::move(fn)) {}
+  std::future<R> get_future() { return promise_.get_future(); }
+
+ protected:
+  void run_impl(rt::context& ctx) noexcept override {
+    try {
+      if constexpr (std::is_void_v<R>) {
+        fn_(ctx);
+        promise_.set_value();
+      } else {
+        promise_.set_value(fn_(ctx));
+      }
+    } catch (...) {
+      promise_.set_exception(std::current_exception());
+    }
+  }
+
+ private:
+  Fn fn_;
+  std::promise<R> promise_;
+};
+
+class job_server {
+ public:
+  /// The runtime_set must outlive the server. Every tenant_options.runtime
+  /// must index into it; at least one tenant per used runtime is required
+  /// (runtimes with no tenants simply get no dispatcher).
+  job_server(runtime_set& runtimes, std::vector<tenant_options> tenants);
+  ~job_server();  ///< stop(): graceful — drains admitted work first
+
+  job_server(const job_server&) = delete;
+  job_server& operator=(const job_server&) = delete;
+
+  /// Typed submission: fn(cilk::context&) -> R runs as one job on the
+  /// tenant's runtime (it may spawn internally; the dispatch joins it).
+  /// Returns the future for R. Blocks under the block policy; throws
+  /// admission_rejected under the reject policy / while draining/stopped.
+  template <typename Fn>
+  auto submit(std::size_t tenant, Fn fn)
+      -> std::future<std::invoke_result_t<Fn&, rt::context&>> {
+    auto f = try_submit(tenant, std::move(fn));
+    if (!f) throw admission_rejected(tenant_name(tenant));
+    return std::move(*f);
+  }
+
+  /// Non-throwing submission: nullopt when admission refuses (reject
+  /// policy at capacity/quota, or the server is draining/stopped). Under
+  /// the block policy this still blocks for space — nullopt then means
+  /// drain/stop woke the waiter.
+  template <typename Fn>
+  auto try_submit(std::size_t tenant, Fn fn)
+      -> std::optional<std::future<std::invoke_result_t<Fn&, rt::context&>>> {
+    using R = std::invoke_result_t<Fn&, rt::context&>;
+    auto job = std::make_unique<typed_job<Fn, R>>(std::move(fn));
+    std::future<R> fut = job->get_future();
+    if (!admit(tenant, std::move(job))) return std::nullopt;
+    return fut;
+  }
+
+  /// Flushes every admitted job: new submissions are refused until all
+  /// inflight work finishes, then admission re-opens. Safe to call from
+  /// any non-dispatcher thread; serializes with concurrent drains.
+  void drain();
+
+  /// Graceful shutdown: refuse new work, let dispatchers finish every
+  /// admitted job, join them. Idempotent; the destructor calls it.
+  void stop();
+
+  std::size_t num_tenants() const { return tenants_.size(); }
+  /// Zeroes every tenant's counters and latency tallies (inflight is NOT
+  /// cleared — it tracks real queued work). For benchmarks: warm up, drain,
+  /// reset, measure.
+  void reset_stats();
+  std::string tenant_name(std::size_t tenant) const;
+  /// Consistent snapshot (taken under the server lock; callable anytime).
+  tenant_stats tenant_snapshot(std::size_t tenant) const;
+  /// Jobs admitted and not yet finished, across all tenants.
+  std::size_t inflight() const;
+
+ private:
+  struct tenant_state {
+    // Explicitly move-only: the deque of unique_ptrs makes copies
+    // ill-formed anyway, but deque *declares* a copy ctor, which would
+    // otherwise make vector growth pick the (uninstantiable) copy path.
+    tenant_state() = default;
+    tenant_state(tenant_state&&) noexcept = default;
+    tenant_state& operator=(tenant_state&&) noexcept = default;
+    tenant_state(const tenant_state&) = delete;
+    tenant_state& operator=(const tenant_state&) = delete;
+
+    tenant_options opt;
+    std::deque<std::unique_ptr<job_base>> queue;
+    std::uint64_t submitted = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t completed = 0;
+    std::size_t inflight = 0;  ///< queued + executing
+    latency_recorder latency;
+
+    bool at_capacity() const {
+      return queue.size() >= opt.queue_capacity ||
+             (opt.max_inflight != 0 && inflight >= opt.max_inflight);
+    }
+  };
+
+  bool admit(std::size_t tenant, std::unique_ptr<job_base> job);
+  void dispatcher_main(std::size_t runtime_index);
+  bool runtime_has_work(std::size_t runtime_index) const;  // mu_ held
+
+  runtime_set& runtimes_;
+  std::vector<tenant_state> tenants_;
+  /// tenants_of_runtime_[r]: tenant indices dispatching on runtime r.
+  std::vector<std::vector<std::size_t>> tenants_of_runtime_;
+  std::vector<std::size_t> rr_cursor_;  ///< per-runtime round-robin start
+
+  mutable std::mutex mu_;
+  std::condition_variable jobs_cv_;   ///< dispatchers: work arrived / stop
+  std::condition_variable space_cv_;  ///< submitters: space; drain: progress
+  bool draining_ = false;
+  bool stopping_ = false;
+  std::size_t total_inflight_ = 0;
+
+  std::vector<std::thread> dispatchers_;
+};
+
+}  // namespace cilkpp::serve
+
+namespace cilk::serve {
+using cilkpp::serve::admission;
+using cilkpp::serve::admission_rejected;
+using cilkpp::serve::job_server;
+using cilkpp::serve::tenant_options;
+using cilkpp::serve::tenant_stats;
+}  // namespace cilk::serve

@@ -1,0 +1,65 @@
+// Per-tenant latency accounting for the job server: three log-bucketed
+// histograms (queue wait, execution, end-to-end) plus a small uniform
+// reservoir of raw end-to-end samples, all fed from the three timestamps
+// every job carries (enqueue -> start -> finish).
+//
+// Threading: a recorder instance is written by exactly one dispatcher
+// thread under the server mutex (batch-amortized), and snapshots are plain
+// copies taken under the same mutex — no atomics needed at serve rates
+// (the contended path is per *batch*, not per job).
+#pragma once
+
+#include <cstdint>
+
+#include "support/assert.hpp"
+#include "support/stats.hpp"
+
+namespace cilkpp::serve {
+
+/// The three timestamps of a job's life; taken with cilkpp::now_ns().
+/// queue = start - enqueue (admission-to-dispatch wait), exec = finish -
+/// start (time on the runtime, including spawns the job itself did),
+/// total = finish - enqueue (what a client observes).
+struct job_timing {
+  std::uint64_t enqueue_ns = 0;
+  std::uint64_t start_ns = 0;
+  std::uint64_t finish_ns = 0;
+};
+
+class latency_recorder {
+ public:
+  explicit latency_recorder(std::size_t reservoir_capacity = 256,
+                            std::uint64_t seed = 1)
+      : total_samples_(reservoir_capacity, seed) {}
+
+  void record(const job_timing& t) {
+    CILKPP_ASSERT(t.enqueue_ns <= t.start_ns && t.start_ns <= t.finish_ns,
+                  "job timestamps out of order");
+    queue_.add(t.start_ns - t.enqueue_ns);
+    exec_.add(t.finish_ns - t.start_ns);
+    const std::uint64_t total = t.finish_ns - t.enqueue_ns;
+    total_.add(total);
+    total_samples_.add(total);
+  }
+
+  std::uint64_t count() const { return total_.total(); }
+  const latency_histogram& queue_ns() const { return queue_; }
+  const latency_histogram& exec_ns() const { return exec_; }
+  const latency_histogram& total_ns() const { return total_; }
+  const reservoir_sampler& total_samples() const { return total_samples_; }
+
+  void merge(const latency_recorder& other) {
+    queue_.merge(other.queue_);
+    exec_.merge(other.exec_);
+    total_.merge(other.total_);
+    total_samples_.merge(other.total_samples_);
+  }
+
+ private:
+  latency_histogram queue_;
+  latency_histogram exec_;
+  latency_histogram total_;
+  reservoir_sampler total_samples_;
+};
+
+}  // namespace cilkpp::serve

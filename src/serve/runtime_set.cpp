@@ -1,0 +1,77 @@
+#include "serve/runtime_set.hpp"
+
+#include <thread>
+
+#include "support/assert.hpp"
+
+namespace cilkpp::serve {
+
+runtime_set::runtime_set(std::vector<rt::scheduler_options> options) {
+  CILKPP_ASSERT(!options.empty(), "runtime_set needs at least one instance");
+  instances_.reserve(options.size());
+  for (rt::scheduler_options& o : options) {
+    instances_.push_back(std::make_unique<rt::scheduler>(std::move(o)));
+  }
+}
+
+void runtime_set::reset_stats() {
+  for (auto& s : instances_) s->reset_stats();
+}
+
+isolation_report runtime_set::verify_isolation() const {
+  isolation_report report;
+  report.instances.reserve(instances_.size());
+  for (const auto& s : instances_) {
+    instance_isolation inst;
+    inst.name = s->name();
+    inst.workers = s->num_workers();
+    const std::vector<rt::worker_stats> per_worker = s->per_worker_stats();
+    for (std::size_t w = 0; w < per_worker.size(); ++w) {
+      const rt::worker_stats& ws = per_worker[w];
+      inst.steals += ws.steals;
+      // A provenance vector longer than the instance is impossible by
+      // construction (it is sized at worker creation); the audit checks
+      // the *totals* the structural argument predicts.
+      for (std::size_t v = 0; v < ws.steals_by_victim.size(); ++v) {
+        inst.provenance_sum += ws.steals_by_victim[v];
+        if (v == w) inst.self_steals += ws.steals_by_victim[v];
+      }
+    }
+    report.isolated = report.isolated && inst.consistent();
+    report.instances.push_back(std::move(inst));
+  }
+  return report;
+}
+
+std::vector<rt::scheduler_options> runtime_set::partitioned(
+    std::size_t instances, unsigned workers_each, unsigned total_cpus) {
+  CILKPP_ASSERT(instances > 0, "partitioned() needs at least one instance");
+  unsigned cpus = total_cpus;
+  if (cpus == 0) {
+    cpus = std::thread::hardware_concurrency();
+    if (cpus == 0) cpus = 1;
+  }
+  std::vector<rt::scheduler_options> options(instances);
+  // Contiguous slices, remainder spread over the first instances; when
+  // there are more instances than CPUs the tail instances reuse the last
+  // CPU (every instance must own at least one).
+  const std::size_t base = cpus / instances;
+  const std::size_t extra = cpus % instances;
+  unsigned next_cpu = 0;
+  for (std::size_t i = 0; i < instances; ++i) {
+    std::size_t width = base + (i < extra ? 1 : 0);
+    if (width == 0) width = 1;
+    rt::scheduler_options& o = options[i];
+    o.name = "rt" + std::to_string(i);
+    for (std::size_t k = 0; k < width; ++k) {
+      o.affinity.push_back(std::min(next_cpu + static_cast<unsigned>(k),
+                                    cpus - 1));
+    }
+    next_cpu = std::min(next_cpu + static_cast<unsigned>(width), cpus - 1);
+    o.workers = workers_each != 0 ? workers_each
+                                  : static_cast<unsigned>(o.affinity.size());
+  }
+  return options;
+}
+
+}  // namespace cilkpp::serve

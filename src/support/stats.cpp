@@ -1,11 +1,13 @@
 #include "support/stats.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <charconv>
 #include <cmath>
 #include <cstdio>
 
 #include "support/assert.hpp"
+#include "support/rng.hpp"
 
 namespace cilkpp {
 
@@ -82,6 +84,102 @@ double histogram::bucket_low(std::size_t i) const {
 }
 
 double histogram::bucket_high(std::size_t i) const { return bucket_low(i + 1); }
+
+// --- latency_histogram -----------------------------------------------------
+//
+// Geometry: values below 64 ns get one slot each (two exact octaves), then
+// every octave is cut into 32 linear sub-buckets — slot = f(bit_width) with
+// two shifts, no floating point, no branches beyond the small-value test.
+
+std::size_t latency_histogram::index_of(std::uint64_t v) {
+  constexpr std::uint64_t exact = 1ULL << (sub_bucket_bits + 1);  // 64
+  if (v < exact) return static_cast<std::size_t>(v);
+  const unsigned w = std::bit_width(v);             // >= sub_bucket_bits + 2
+  const unsigned shift = w - (sub_bucket_bits + 1);  // >= 1
+  const std::uint64_t top = v >> shift;             // in [32, 64)
+  return ((static_cast<std::size_t>(shift) + 1) << sub_bucket_bits) +
+         static_cast<std::size_t>(top - (exact >> 1));
+}
+
+std::uint64_t latency_histogram::slot_high(std::size_t i) {
+  constexpr std::size_t exact = std::size_t{1} << (sub_bucket_bits + 1);
+  if (i < exact) return i;
+  const std::size_t shift = (i >> sub_bucket_bits) - 1;
+  const std::uint64_t top = (exact >> 1) + (i & ((1u << sub_bucket_bits) - 1));
+  return ((top + 1) << shift) - 1;
+}
+
+void latency_histogram::add(std::uint64_t value_ns) {
+  ++counts_[index_of(value_ns)];
+  ++total_;
+  sum_ += value_ns;
+  min_ = std::min(min_, value_ns);
+  max_ = std::max(max_, value_ns);
+}
+
+std::uint64_t latency_histogram::min() const {
+  CILKPP_ASSERT(total_ > 0, "min() of empty latency_histogram");
+  return min_;
+}
+
+std::uint64_t latency_histogram::max() const {
+  CILKPP_ASSERT(total_ > 0, "max() of empty latency_histogram");
+  return max_;
+}
+
+double latency_histogram::mean() const {
+  CILKPP_ASSERT(total_ > 0, "mean() of empty latency_histogram");
+  return static_cast<double>(sum_) / static_cast<double>(total_);
+}
+
+std::uint64_t latency_histogram::percentile(double p) const {
+  CILKPP_ASSERT(total_ > 0, "percentile() of empty latency_histogram");
+  p = std::clamp(p, 0.0, 1.0);
+  auto rank = static_cast<std::uint64_t>(
+      std::ceil(p * static_cast<double>(total_)));
+  if (rank == 0) rank = 1;
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < slots(); ++i) {
+    cum += counts_[i];
+    if (cum >= rank) return std::clamp(slot_high(i), min_, max_);
+  }
+  return max_;  // unreachable: cum reaches total_ by the last nonzero slot
+}
+
+void latency_histogram::merge(const latency_histogram& other) {
+  if (other.total_ == 0) return;
+  for (std::size_t i = 0; i < slots(); ++i) counts_[i] += other.counts_[i];
+  total_ += other.total_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+// --- reservoir_sampler -----------------------------------------------------
+
+reservoir_sampler::reservoir_sampler(std::size_t capacity, std::uint64_t seed)
+    : capacity_(capacity), rng_state_(seed ? seed : 1) {
+  CILKPP_ASSERT(capacity > 0, "reservoir needs capacity >= 1");
+  samples_.reserve(capacity);
+}
+
+void reservoir_sampler::add(std::uint64_t value) {
+  ++seen_;
+  if (samples_.size() < capacity_) {
+    samples_.push_back(value);
+    return;
+  }
+  // Algorithm R: keep the newcomer with probability capacity/seen, evicting
+  // a uniformly random incumbent.
+  const std::uint64_t r = splitmix64(rng_state_) % seen_;
+  if (r < capacity_) samples_[static_cast<std::size_t>(r)] = value;
+}
+
+void reservoir_sampler::merge(const reservoir_sampler& other) {
+  // Not a weighted merge (that needs per-sample tags); good enough for the
+  // "carry a few raw examples" role: feed the other's retained samples in.
+  for (std::uint64_t v : other.samples_) add(v);
+}
 
 void json_writer::indent() {
   out_.push_back('\n');

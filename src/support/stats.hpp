@@ -59,6 +59,82 @@ class histogram {
   std::uint64_t total_ = 0;
 };
 
+/// Log-bucketed latency histogram: HdrHistogram-style octave buckets with
+/// 32 linear sub-buckets per octave, so relative bucket error is bounded at
+/// ~3% across the whole nanosecond-to-minutes range while the table stays a
+/// fixed 15 KiB of counters. add() is two shifts and an increment — cheap
+/// enough to sit on a per-job recording path. Exact min/max are tracked on
+/// the side so tails are never reported coarser than the data.
+///
+/// Shared by bench_jobserver (queue/exec/total latency), the serve-layer
+/// latency_recorder, and available to cilk::trace interval stats; the
+/// percentile convention (p(0.5) = smallest recorded bucket upper bound
+/// with ≥ 50% of samples at or below it) matches what BENCH_*.json reports.
+class latency_histogram {
+ public:
+  static constexpr unsigned sub_bucket_bits = 5;  ///< 32 sub-buckets/octave
+  static constexpr unsigned octaves = 59;  ///< covers [0, 2^63] ns
+
+  void add(std::uint64_t value_ns);
+
+  std::uint64_t total() const { return total_; }
+  std::uint64_t min() const;  ///< exact (not bucket-rounded); asserts total>0
+  std::uint64_t max() const;  ///< exact; asserts total>0
+  double mean() const;        ///< from the exact running sum
+
+  /// Value (ns) such that at least fraction p of samples are <= it, at
+  /// bucket resolution, clamped into [min(), max()]. p in [0, 1].
+  std::uint64_t percentile(double p) const;
+  std::uint64_t p50() const { return percentile(0.50); }
+  std::uint64_t p90() const { return percentile(0.90); }
+  std::uint64_t p99() const { return percentile(0.99); }
+  std::uint64_t p999() const { return percentile(0.999); }
+
+  /// Adds another histogram's samples into this one (same fixed geometry,
+  /// so the merge is a plain counter sum — dispatcher-local recording plus
+  /// a quiescent merge needs no locks).
+  void merge(const latency_histogram& other);
+
+  /// Number of counter slots (for iteration/serialization).
+  static constexpr std::size_t slot_table_size =
+      std::size_t{octaves + 1} << sub_bucket_bits;
+  static constexpr std::size_t slots() { return slot_table_size; }
+  std::uint64_t slot_count(std::size_t i) const { return counts_[i]; }
+  /// Inclusive upper bound (ns) of slot i's value range.
+  static std::uint64_t slot_high(std::size_t i);
+
+ private:
+  static std::size_t index_of(std::uint64_t v);
+
+  std::uint64_t counts_[slot_table_size] = {};
+  std::uint64_t total_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = ~std::uint64_t{0};
+  std::uint64_t max_ = 0;
+};
+
+/// Fixed-capacity uniform reservoir (Vitter's Algorithm R): keeps each of
+/// the n samples seen so far with probability k/n, deterministically from
+/// the seed. The serve-layer latency recorder pairs one of these with the
+/// histogram above so BENCH artifacts can carry raw example latencies (for
+/// eyeballing outliers) next to the bucketed tails.
+class reservoir_sampler {
+ public:
+  explicit reservoir_sampler(std::size_t capacity, std::uint64_t seed = 1);
+
+  void add(std::uint64_t value);
+  std::uint64_t seen() const { return seen_; }
+  /// The retained samples, unordered (at most `capacity`).
+  const std::vector<std::uint64_t>& samples() const { return samples_; }
+  void merge(const reservoir_sampler& other);
+
+ private:
+  std::vector<std::uint64_t> samples_;
+  std::size_t capacity_;
+  std::uint64_t seen_ = 0;
+  std::uint64_t rng_state_;
+};
+
 /// Minimal streaming JSON emitter (no DOM, no dependencies): nested
 /// objects/arrays, string escaping per RFC 8259, shortest-round-trip
 /// doubles via std::to_chars (non-finite values become null — JSON has no

@@ -209,6 +209,102 @@ TEST(Histogram, PercentileBucketResolution) {
   EXPECT_NEAR(h.percentile(0.99), 100.0, 1.01);
 }
 
+// --- latency_histogram: the log-bucketed tail-latency store shared by the
+// serve layer and bench_jobserver. Geometry invariants first, then the
+// percentile contract on known distributions, then merge = replay.
+
+TEST(LatencyHistogram, SmallValuesAreExact) {
+  latency_histogram h;
+  for (std::uint64_t v = 0; v < 64; ++v) h.add(v);
+  EXPECT_EQ(h.total(), 64u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 63u);
+  // Below 64 ns every value owns its own slot: percentiles are exact.
+  EXPECT_EQ(h.percentile(1.0 / 64.0), 0u);
+  EXPECT_EQ(h.p50(), 31u);
+  EXPECT_EQ(h.percentile(1.0), 63u);
+}
+
+TEST(LatencyHistogram, RelativeBucketErrorBoundedAt3Percent) {
+  // Every recorded value must land in a slot whose upper bound is within
+  // 1/32 (one sub-bucket) of it, across the whole range.
+  std::uint64_t state = 42;
+  for (int i = 0; i < 4096; ++i) {
+    const std::uint64_t v = splitmix64(state) >> (splitmix64(state) % 40);
+    latency_histogram single;
+    single.add(v);
+    const std::uint64_t rep = single.percentile(1.0);
+    EXPECT_GE(rep, v);  // slot upper bound never under-reports
+    EXPECT_LE(static_cast<double>(rep - v),
+              static_cast<double>(v) / 32.0 + 1.0)
+        << "value " << v;
+  }
+}
+
+TEST(LatencyHistogram, PercentilesOfKnownDistribution) {
+  // 1000 samples at 1µs, 10 at 1ms: p50/p90/p99 sit in the bulk, p999 and
+  // max surface the outliers — the shape bench_jobserver's report relies on.
+  latency_histogram h;
+  for (int i = 0; i < 1000; ++i) h.add(1'000);
+  for (int i = 0; i < 10; ++i) h.add(1'000'000);
+  EXPECT_EQ(h.total(), 1010u);
+  EXPECT_NEAR(static_cast<double>(h.p50()), 1'000.0, 1'000.0 / 32.0 + 1);
+  EXPECT_NEAR(static_cast<double>(h.p99()), 1'000.0, 1'000.0 / 32.0 + 1);
+  EXPECT_GE(h.p999(), 900'000u);
+  EXPECT_EQ(h.max(), 1'000'000u);
+  EXPECT_NEAR(h.mean(), (1000.0 * 1e3 + 10 * 1e6) / 1010.0, 1.0);
+}
+
+TEST(LatencyHistogram, PercentileClampedIntoObservedRange) {
+  latency_histogram h;
+  h.add(100);
+  h.add(200);
+  // Bucket upper bounds would over-report; min/max clamp keeps percentiles
+  // inside what was actually seen.
+  EXPECT_GE(h.percentile(0.0), 100u);
+  EXPECT_LE(h.percentile(1.0), 200u);
+}
+
+TEST(LatencyHistogram, MergeEqualsReplay) {
+  latency_histogram a, b, replay;
+  std::uint64_t state = 7;
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t v = splitmix64(state) % 1'000'000;
+    (i % 2 == 0 ? a : b).add(v);
+    replay.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.total(), replay.total());
+  EXPECT_EQ(a.min(), replay.min());
+  EXPECT_EQ(a.max(), replay.max());
+  for (double p : {0.5, 0.9, 0.99, 0.999}) {
+    EXPECT_EQ(a.percentile(p), replay.percentile(p)) << p;
+  }
+}
+
+TEST(ReservoirSampler, KeepsAllBelowCapacityThenStaysFull) {
+  reservoir_sampler r(8, /*seed=*/3);
+  for (std::uint64_t v = 1; v <= 5; ++v) r.add(v);
+  EXPECT_EQ(r.samples().size(), 5u);
+  for (std::uint64_t v = 6; v <= 1000; ++v) r.add(v);
+  EXPECT_EQ(r.samples().size(), 8u);
+  EXPECT_EQ(r.seen(), 1000u);
+  // Every retained sample is one of the inputs.
+  for (std::uint64_t s : r.samples()) {
+    EXPECT_GE(s, 1u);
+    EXPECT_LE(s, 1000u);
+  }
+}
+
+TEST(ReservoirSampler, DeterministicFromSeed) {
+  reservoir_sampler a(16, 9), b(16, 9);
+  for (std::uint64_t v = 0; v < 4096; ++v) {
+    a.add(v);
+    b.add(v);
+  }
+  EXPECT_EQ(a.samples(), b.samples());
+}
+
 TEST(Table, AlignedOutputContainsAllCells) {
   table t{"P", "speedup"};
   t.row(4, 3.97);
