@@ -19,6 +19,7 @@
 #include "dag/generators.hpp"
 #include "dag/recorder.hpp"
 #include "support/table.hpp"
+#include "graph/generate.hpp"
 #include "workloads/bfs.hpp"
 #include "workloads/fib.hpp"
 #include "workloads/matmul.hpp"
@@ -51,7 +52,7 @@ int main() {
     }
   }
   {
-    const workloads::csr g = workloads::random_graph(200000, 16, 5);
+    const graph::csr g = graph::uniform_graph_serial(200000, 3200000, 5);
     const dag::graph d = dag::record([&](dag::recorder_context& ctx) {
       (void)workloads::bfs(ctx, g, 0, 4);
     });

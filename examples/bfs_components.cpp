@@ -1,12 +1,15 @@
 // BFS over a large irregular graph (Sec. 2.3's "parallelism in the
-// thousands" workload): computes hop distances from a source and a reach
-// histogram, using parallel_for over each frontier and a vector-append
-// reducer so frontier order is deterministic.
+// thousands" workload): builds a uniform random CSR graph *in parallel*
+// (DPRNG-seeded, so the graph is identical at any worker count), computes
+// hop distances from a source and a reach histogram, and prints the
+// per-level work profile the graph module records.
 //
 // Usage: ./examples/bfs_components [vertices] [avg_degree]
 #include <cstdlib>
 #include <iostream>
 
+#include "graph/generate.hpp"
+#include "graph/ref.hpp"
 #include "runtime/scheduler.hpp"
 #include "support/timing.hpp"
 #include "workloads/bfs.hpp"
@@ -18,41 +21,41 @@ int main(int argc, char** argv) {
   const std::uint32_t degree =
       argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 8u;
 
-  std::cout << "building random graph: " << vertices << " vertices, ~"
-            << degree << " out-edges each...\n";
-  const workloads::csr g = workloads::random_graph(vertices, degree, 2026);
-  std::cout << "edges: " << g.nnz() << "\n";
-
+  std::cout << "building uniform random graph in parallel: " << vertices
+            << " vertices, ~" << degree << " out-edges each...\n";
   cilk::scheduler sched;
   stopwatch sw;
-  const auto dist = sched.run([&](cilk::context& ctx) {
-    return workloads::bfs(ctx, g, 0, 128);
+  const graph::csr g = sched.run([&](cilk::context& ctx) {
+    return graph::uniform_graph(ctx, vertices,
+                                std::uint64_t{vertices} * degree, 2026);
+  });
+  std::cout << "edges: " << g.edges() << " (built in " << sw.elapsed_s()
+            << " s)\n";
+
+  sw.reset();
+  const workloads::bfs_run run = sched.run([&](cilk::context& ctx) {
+    return workloads::bfs_profiled(ctx, g, 0, 128);
   });
   const double par_s = sw.elapsed_s();
 
   sw.reset();
-  const auto ref = workloads::bfs_serial(g, 0);
+  const auto ref = graph::bfs_serial(g, 0);
   const double ser_s = sw.elapsed_s();
 
   std::cout << "parallel BFS: " << par_s << " s; serial reference: " << ser_s
-            << " s; results " << (dist == ref ? "match" : "DIFFER") << "\n\n";
+            << " s; results " << (run.dist == ref ? "match" : "DIFFER")
+            << "\n\n";
 
-  // Reach histogram by level.
-  std::uint32_t max_level = 0;
-  std::size_t unreachable = 0;
-  for (const std::uint32_t d : dist) {
-    if (d == workloads::bfs_unreachable) {
-      ++unreachable;
-    } else if (d > max_level) {
-      max_level = d;
-    }
+  std::cout << "level  frontier  claimed  mean-work  max-work\n";
+  for (const graph::iteration_stats& lvl : run.levels) {
+    std::cout << lvl.index << "      " << lvl.active << "  " << lvl.claimed
+              << "  " << lvl.hist.mean_work() << "  " << lvl.hist.max_work
+              << "\n";
   }
-  std::vector<std::size_t> by_level(max_level + 1, 0);
-  for (const std::uint32_t d : dist)
-    if (d != workloads::bfs_unreachable) ++by_level[d];
-  std::cout << "level  vertices\n";
-  for (std::uint32_t l = 0; l <= max_level; ++l)
-    std::cout << l << "      " << by_level[l] << "\n";
+  std::size_t unreachable = 0;
+  for (const std::uint32_t d : run.dist) {
+    if (d == workloads::bfs_unreachable) ++unreachable;
+  }
   std::cout << "unreachable: " << unreachable << "\n";
   return 0;
 }

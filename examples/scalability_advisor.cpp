@@ -18,6 +18,7 @@
 #include <string>
 
 #include "cilk.hpp"
+#include "graph/generate.hpp"
 #include "workloads/bfs.hpp"
 #include "workloads/fib.hpp"
 #include "workloads/matmul.hpp"
@@ -47,7 +48,8 @@ dag::graph record_workload(const std::string& name, std::uint64_t scale) {
     });
   }
   if (name == "bfs") {
-    const auto g = workloads::random_graph(static_cast<std::uint32_t>(scale), 8, 7);
+    const graph::csr g = graph::uniform_graph_serial(
+        static_cast<std::uint32_t>(scale), scale * 8, 7);
     return dag::record([&](dag::recorder_context& ctx) {
       (void)workloads::bfs(ctx, g, 0, 64);
     });

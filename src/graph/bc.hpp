@@ -1,0 +1,226 @@
+// Pivot-sampled Brandes betweenness centrality in the Galois lonestar mold
+// (ROADMAP: lonestar/betweennesscentrality), engine-generic and written to
+// be *deterministic by construction* — bit-identical output across worker
+// counts, chaos schedules, and engines, pinned by tests/graph_test.cpp and
+// the stress graph leg.
+//
+// Per pivot s, Brandes computes shortest-path counts sigma by BFS level,
+// then dependencies delta level-by-level in reverse:
+//
+//   sigma[v] = Σ_{u→v, dist[u]=dist[v]-1} sigma[u]
+//   delta[u] = Σ_{u→v, dist[v]=dist[u]+1} sigma[u]/sigma[v]·(1+delta[v])
+//   bc[v]   += delta[v] over pivots (v ≠ s)
+//
+// Parallelization discipline (why there are no atomics and no races):
+//
+//   * Forward phase is PULL, not push: each still-undiscovered vertex v
+//     scans its in-neighbors (the transpose) and claims *itself* — every
+//     write (dist[v], sigma[v]) lands in the writer's own slot, and every
+//     read (in_frontier[u], sigma[u]) is of state written in an earlier
+//     level, serially before this parallel_for. The frontier membership
+//     flags are set and cleared in dedicated phases bracketing the claim
+//     scan, so no flag is read and written in the same parallel region.
+//   * Backward phase walks levels deepest-first: delta[u] for a level-d
+//     vertex reads only delta/sigma of level-(d+1) vertices (previous
+//     parallel_for) and writes its own slot.
+//   * Each per-vertex sum runs in a fixed order (the sorted CSR row), so
+//     values don't depend on which strand computed them: float results are
+//     exactly reproducible, and exactly equal to the serial reference's.
+//
+// sigma is double, as in Galois: path counts overflow u64 on graphs this
+// module targets, and the delta formula needs the quotient anyway.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/histogram.hpp"
+#include "graph/instrument.hpp"
+#include "graph/ref.hpp"
+#include "hyper/monoid.hpp"
+#include "hyper/reducer.hpp"
+#include "runtime/parallel_for.hpp"
+
+namespace cilkpp::graph {
+
+inline constexpr std::uint32_t bc_unreachable =
+    std::numeric_limits<std::uint32_t>::max();
+
+struct bc_options {
+  std::uint32_t pivots = 8;  ///< sampled sources; >= vertices means exact BC
+  std::uint64_t seed = 1;    ///< pivot-sampling DPRNG seed
+  std::uint64_t grain = 0;   ///< parallel_for grain (0 = engine default)
+};
+
+struct bc_result {
+  /// Unnormalized Brandes dependency sum over the sampled pivots; equals
+  /// exact directed betweenness when every vertex is a pivot.
+  std::vector<double> centrality;
+  std::vector<std::uint32_t> pivots;  ///< the sources actually used
+  /// Forward-phase stats, one entry per (pivot, level): active = vertices
+  /// still undiscovered when the level ran, claimed = vertices it found.
+  std::vector<iteration_stats> levels;
+};
+
+/// Body of betweenness(); needs a dedicated frame for reducer collect()s.
+template <typename Ctx>
+bc_result bc_in_frame(Ctx& ctx, const csr& g, const csr& gt,
+                      const bc_options& opt) {
+  const std::uint32_t n = g.vertices();
+  CILKPP_ASSERT(gt.vertices() == n && gt.edges() == g.edges(),
+                "betweenness: gt must be the transpose of g");
+
+  bc_result out;
+  out.centrality.assign(n, 0.0);
+  out.pivots = sample_pivots(n, opt.pivots, opt.seed);
+
+  std::vector<std::uint32_t> dist(n);
+  std::vector<double> sigma(n);
+  std::vector<double> delta(n);
+  std::vector<std::uint8_t> in_frontier(n);
+
+  for (const std::uint32_t s : out.pivots) {
+    parallel_for(
+        ctx, std::uint32_t{0}, n,
+        [&](Ctx& leaf, std::uint32_t v) {
+          leaf.account(1);
+          note_write(leaf, dist[v], "bc.dist");
+          note_write(leaf, sigma[v], "bc.sigma");
+          note_write(leaf, delta[v], "bc.delta");
+          note_write(leaf, in_frontier[v], "bc.in_frontier");
+          dist[v] = bc_unreachable;
+          sigma[v] = 0.0;
+          delta[v] = 0.0;
+          in_frontier[v] = 0;
+        },
+        opt.grain);
+    dist[s] = 0;
+    sigma[s] = 1.0;
+
+    std::vector<std::uint32_t> undiscovered;
+    undiscovered.reserve(n - 1);
+    for (std::uint32_t v = 0; v < n; ++v) {
+      if (v != s) undiscovered.push_back(v);
+    }
+
+    // Forward: level-synchronous pull BFS accumulating sigma.
+    std::vector<std::vector<std::uint32_t>> frontier_by_level;
+    frontier_by_level.push_back({s});
+    for (std::uint32_t level = 1; !frontier_by_level.back().empty() &&
+                                  !undiscovered.empty();
+         ++level) {
+      const std::vector<std::uint32_t>& frontier = frontier_by_level.back();
+
+      // Mark phase: flags written here are only *read* in the claim phase
+      // and only written again in the unmark phase — no same-region
+      // read/write pair on any flag.
+      parallel_for(
+          ctx, std::size_t{0}, frontier.size(),
+          [&](Ctx& leaf, std::size_t i) {
+            leaf.account(1);
+            note_write(leaf, in_frontier[frontier[i]], "bc.in_frontier");
+            in_frontier[frontier[i]] = 1;
+          },
+          opt.grain);
+
+      hyper::reducer<hyper::vector_append<std::uint32_t>> next;
+      hyper::reducer<hyper::vector_append<std::uint32_t>> still;
+      hist_reducer hist;
+      parallel_for(
+          ctx, std::size_t{0}, undiscovered.size(),
+          [&, level](Ctx& leaf, std::size_t i) {
+            const std::uint32_t v = undiscovered[i];
+            const std::uint64_t indeg = gt.degree(v);
+            leaf.account(indeg + 1);
+            hist.view(leaf).add(indeg + 1);
+            bool found = false;
+            double sigma_sum = 0.0;
+            for (std::uint64_t k = gt.offsets[v]; k < gt.offsets[v + 1];
+                 ++k) {
+              const std::uint32_t u = gt.targets[k];
+              note_read(leaf, in_frontier[u], "bc.in_frontier");
+              if (in_frontier[u] != 0) {
+                found = true;
+                note_read(leaf, sigma[u], "bc.sigma");
+                sigma_sum += sigma[u];
+              }
+            }
+            if (found) {
+              note_write(leaf, dist[v], "bc.dist");
+              note_write(leaf, sigma[v], "bc.sigma");
+              dist[v] = level;
+              sigma[v] = sigma_sum;
+              next.view(leaf).push_back(v);
+            } else {
+              still.view(leaf).push_back(v);
+            }
+          },
+          opt.grain);
+
+      parallel_for(
+          ctx, std::size_t{0}, frontier.size(),
+          [&](Ctx& leaf, std::size_t i) {
+            leaf.account(1);
+            note_write(leaf, in_frontier[frontier[i]], "bc.in_frontier");
+            in_frontier[frontier[i]] = 0;
+          },
+          opt.grain);
+
+      std::vector<std::uint32_t> claimed = next.collect(ctx);
+      iteration_stats stats;
+      stats.index = level;
+      stats.active = undiscovered.size();
+      stats.claimed = claimed.size();
+      stats.hist = hist.collect(ctx);
+      out.levels.push_back(std::move(stats));
+      undiscovered = still.collect(ctx);
+      frontier_by_level.push_back(std::move(claimed));
+    }
+
+    // Backward: dependency accumulation, deepest level first. Reads touch
+    // only level d+1 state (written by the previous parallel_for) and
+    // immutable forward-phase results; delta[u] and centrality[u] are the
+    // strand's own slots (u occurs in exactly one level).
+    for (std::size_t d = frontier_by_level.size(); d-- > 1;) {
+      const std::vector<std::uint32_t>& level_verts = frontier_by_level[d];
+      parallel_for(
+          ctx, std::size_t{0}, level_verts.size(),
+          [&, d](Ctx& leaf, std::size_t i) {
+            const std::uint32_t u = level_verts[i];
+            leaf.account(g.degree(u) + 1);
+            note_read(leaf, sigma[u], "bc.sigma");
+            const double su = sigma[u];
+            double sum = 0.0;
+            for (std::uint64_t k = g.offsets[u]; k < g.offsets[u + 1]; ++k) {
+              const std::uint32_t v = g.targets[k];
+              note_read(leaf, dist[v], "bc.dist");
+              if (dist[v] == static_cast<std::uint32_t>(d) + 1) {
+                note_read(leaf, sigma[v], "bc.sigma");
+                note_read(leaf, delta[v], "bc.delta");
+                sum += su / sigma[v] * (1.0 + delta[v]);
+              }
+            }
+            note_write(leaf, delta[u], "bc.delta");
+            delta[u] = sum;
+            note_write(leaf, out.centrality[u], "bc.centrality");
+            out.centrality[u] += sum;
+          },
+          opt.grain);
+    }
+  }
+  return out;
+}
+
+/// Engine-generic pivot-sampled Brandes betweenness centrality. `gt` must
+/// be transpose(g) (the pull phase scans in-neighbors through it).
+template <typename Ctx>
+bc_result betweenness(Ctx& ctx, const csr& g, const csr& gt,
+                      const bc_options& opt = {}) {
+  return ctx.call(
+      [&](Ctx& frame) { return bc_in_frame(frame, g, gt, opt); });
+}
+
+}  // namespace cilkpp::graph

@@ -1,0 +1,119 @@
+#include "graph/csr.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace cilkpp::graph {
+
+bool validate(const csr& g, std::string* why) {
+  const auto fail = [why](std::string msg) {
+    if (why != nullptr) *why = std::move(msg);
+    return false;
+  };
+  if (g.offsets.empty()) return fail("offsets empty (size must be vertices+1)");
+  if (g.offsets.front() != 0) {
+    return fail("offsets[0] = " + std::to_string(g.offsets.front()) +
+                ", want 0");
+  }
+  const std::uint32_t n = g.vertices();
+  for (std::uint32_t v = 0; v < n; ++v) {
+    if (g.offsets[v + 1] < g.offsets[v]) {
+      return fail("offsets not monotone at vertex " + std::to_string(v));
+    }
+  }
+  if (g.offsets.back() != g.edges()) {
+    return fail("offsets back " + std::to_string(g.offsets.back()) +
+                " != edge count " + std::to_string(g.edges()));
+  }
+  for (std::uint64_t k = 0; k < g.edges(); ++k) {
+    if (g.targets[k] >= n) {
+      return fail("target out of range at edge " + std::to_string(k));
+    }
+  }
+  for (std::uint32_t v = 0; v < n; ++v) {
+    for (std::uint64_t k = g.offsets[v] + 1; k < g.offsets[v + 1]; ++k) {
+      if (g.targets[k - 1] > g.targets[k]) {
+        return fail("row " + std::to_string(v) + " unsorted at edge " +
+                    std::to_string(k));
+      }
+    }
+  }
+  if (!g.edge_ref.empty()) {
+    if (g.edge_ref.size() != g.targets.size()) {
+      return fail("edge_ref size " + std::to_string(g.edge_ref.size()) +
+                  " != edge count " + std::to_string(g.edges()));
+    }
+    for (const std::uint64_t r : g.edge_ref) {
+      if (r >= g.edges()) {
+        return fail("edge_ref " + std::to_string(r) + " out of range");
+      }
+    }
+  }
+  return true;
+}
+
+std::vector<edge> to_edge_list(const csr& g) {
+  std::vector<edge> out;
+  out.reserve(g.edges());
+  for (std::uint32_t v = 0; v < g.vertices(); ++v) {
+    for (const std::uint32_t w : g.row(v)) out.push_back({v, w});
+  }
+  return out;
+}
+
+double top_decile_degree_mass(const csr& g) {
+  const std::uint32_t n = g.vertices();
+  if (n == 0 || g.edges() == 0) return 0.0;
+  std::vector<std::uint64_t> deg(n);
+  for (std::uint32_t v = 0; v < n; ++v) deg[v] = g.degree(v);
+  std::sort(deg.begin(), deg.end(), std::greater<>());
+  const std::uint32_t top = std::max<std::uint32_t>(1, n / 10);
+  const std::uint64_t mass =
+      std::accumulate(deg.begin(), deg.begin() + top, std::uint64_t{0});
+  return static_cast<double>(mass) / static_cast<double>(g.edges());
+}
+
+csr build_csr_serial(std::uint32_t vertices, const std::vector<edge>& edges) {
+  csr g;
+  g.offsets.assign(std::size_t{vertices} + 1, 0);
+  for (const edge e : edges) {
+    CILKPP_ASSERT(e.src < vertices && e.dst < vertices,
+                  "build_csr_serial: edge references vertex >= vertex count");
+    ++g.offsets[e.src + 1];
+  }
+  for (std::uint32_t v = 0; v < vertices; ++v) {
+    g.offsets[v + 1] += g.offsets[v];
+  }
+  g.targets.resize(edges.size());
+  std::vector<std::uint64_t> cursor(g.offsets.begin(), g.offsets.end() - 1);
+  for (const edge e : edges) g.targets[cursor[e.src]++] = e.dst;
+  for (std::uint32_t v = 0; v < vertices; ++v) {
+    std::sort(g.targets.begin() + static_cast<std::ptrdiff_t>(g.offsets[v]),
+              g.targets.begin() + static_cast<std::ptrdiff_t>(g.offsets[v + 1]));
+  }
+  return g;
+}
+
+csr transpose_serial(const csr& g) {
+  const std::uint32_t n = g.vertices();
+  csr t;
+  t.offsets.assign(std::size_t{n} + 1, 0);
+  for (const std::uint32_t v : g.targets) ++t.offsets[v + 1];
+  for (std::uint32_t v = 0; v < n; ++v) t.offsets[v + 1] += t.offsets[v];
+  t.targets.resize(g.edges());
+  t.edge_ref.resize(g.edges());
+  std::vector<std::uint64_t> cursor(t.offsets.begin(), t.offsets.end() - 1);
+  // Scanning u ascending and rows in CSR (sorted) order emits each
+  // transposed row already keyed (source, source edge position) ascending —
+  // no sort pass needed, and it matches transpose()'s canonical order.
+  for (std::uint32_t u = 0; u < n; ++u) {
+    for (std::uint64_t k = g.offsets[u]; k < g.offsets[u + 1]; ++k) {
+      const std::uint64_t slot = cursor[g.targets[k]]++;
+      t.targets[slot] = u;
+      t.edge_ref[slot] = k;
+    }
+  }
+  return t;
+}
+
+}  // namespace cilkpp::graph

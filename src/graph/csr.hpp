@@ -1,0 +1,241 @@
+// CSR graph substrate for the Galois-class analytics kernels (ROADMAP
+// "Galois-class graph analytics at scale").
+//
+// Design rules, shared by everything in src/graph:
+//
+//   * Deterministic output. build_csr scatters edges with atomic cursors —
+//     placement within a row depends on the schedule — and then sorts every
+//     row, so the finished structure is a pure function of the input
+//     edge list: bit-identical across worker counts, chaos schedules, and
+//     engines. The determinism tests in tests/graph_test.cpp hold this to
+//     byte equality.
+//   * Engine-generic. Construction and kernels are templates over the
+//     context, dispatching parallel_for by ADL: they run unchanged under
+//     rt::context, serial elision, the dag recorder, and both cilkscreen
+//     detectors.
+//   * 64-bit edge indices. "Millions of edges" fits 32 bits, but offsets
+//     are u64 so scale is a parameter, not a cliff.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/instrument.hpp"
+#include "hyper/monoid.hpp"
+#include "hyper/reducer.hpp"
+#include "runtime/parallel_for.hpp"
+#include "support/assert.hpp"
+
+namespace cilkpp::graph {
+
+/// A directed edge, the generator/builder interchange format.
+struct edge {
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+
+  bool operator==(const edge&) const = default;
+};
+
+/// Compressed sparse row digraph. Rows are sorted by target (duplicates
+/// kept), which is what makes parallel construction canonical.
+struct csr {
+  std::vector<std::uint64_t> offsets;   ///< size vertices()+1, monotone
+  std::vector<std::uint32_t> targets;   ///< size edges(), sorted per row
+  /// Only populated on graphs produced by transpose(): edge_ref[k] is the
+  /// position in the *source* graph of the edge that became transposed
+  /// edge k. Kernels use it to address per-edge state of the original
+  /// graph while iterating in-neighbors (PageRank's gather phase).
+  std::vector<std::uint64_t> edge_ref;
+
+  std::uint32_t vertices() const {
+    return static_cast<std::uint32_t>(offsets.empty() ? 0
+                                                      : offsets.size() - 1);
+  }
+  std::uint64_t edges() const { return targets.size(); }
+
+  std::uint64_t degree(std::uint32_t v) const {
+    return offsets[v + 1] - offsets[v];
+  }
+
+  /// The out-neighbors of v, in sorted order.
+  std::span<const std::uint32_t> row(std::uint32_t v) const {
+    return {targets.data() + offsets[v], degree(v)};
+  }
+
+  bool operator==(const csr&) const = default;
+};
+
+/// Structural validation: offsets monotone and anchored, targets in range,
+/// rows sorted, edge_ref (when present) a permutation-sized index set.
+/// Returns false and fills `why` on the first violation.
+bool validate(const csr& g, std::string* why = nullptr);
+
+/// Row-major expansion back to an edge list (round-trip oracle: for a
+/// sorted input edge list, build_csr ∘ to_edge_list is the identity).
+std::vector<edge> to_edge_list(const csr& g);
+
+/// Fraction of all edges owned by the top 10% highest-out-degree vertices.
+/// Uniform graphs sit near 0.1–0.2; RMAT's hub structure pushes well past
+/// it — the generator skew oracle.
+double top_decile_degree_mass(const csr& g);
+
+/// Serial reference builder: counting sort by source, then per-row sort.
+csr build_csr_serial(std::uint32_t vertices, const std::vector<edge>& edges);
+
+/// Serial reference transpose (also fills edge_ref).
+csr transpose_serial(const csr& g);
+
+/// Parallel edge-list → sorted-CSR construction.
+///
+/// Four phases: (1) parallel degree count with relaxed atomic increments —
+/// integer adds commute, so counts are schedule-independent; (2) serial
+/// prefix sum over V+1 offsets; (3) parallel scatter through atomic row
+/// cursors — the one schedule-dependent step; (4) parallel per-row sort,
+/// which erases the placement order and restores determinism. A reducer
+/// audits phase 3: every leaf adds the edges it placed, and the fold must
+/// equal the edge count (a dropped or double-placed edge is a builder bug,
+/// caught at the barrier rather than as a corrupt graph downstream).
+template <typename Ctx>
+csr build_csr(Ctx& ctx, std::uint32_t vertices, const std::vector<edge>& edges,
+              std::uint64_t grain = 0) {
+  return ctx.call([&](Ctx& frame) {
+    const std::uint64_t m = edges.size();
+
+    std::vector<std::atomic<std::uint64_t>> degree(vertices);
+    hyper::reducer<hyper::opadd<std::uint64_t>> out_of_range;
+    parallel_for(
+        frame, std::uint64_t{0}, m,
+        [&](Ctx& leaf, std::uint64_t i) {
+          leaf.account(1);
+          const edge e = edges[i];
+          if (e.src >= vertices || e.dst >= vertices) {
+            out_of_range.view(leaf) += 1;
+            return;
+          }
+          degree[e.src].fetch_add(1, std::memory_order_relaxed);
+        },
+        grain);
+    CILKPP_ASSERT(out_of_range.collect(frame) == 0,
+                  "build_csr: edge references vertex >= vertex count");
+
+    csr g;
+    g.offsets.resize(std::size_t{vertices} + 1);
+    g.offsets[0] = 0;
+    for (std::uint32_t v = 0; v < vertices; ++v) {
+      g.offsets[v + 1] =
+          g.offsets[v] + degree[v].load(std::memory_order_relaxed);
+    }
+    g.targets.resize(m);
+
+    // Phase 3: scatter via per-row atomic cursors. Slot order within a row
+    // is whatever the schedule produced; phase 4 canonicalizes it.
+    std::vector<std::atomic<std::uint64_t>> cursor(vertices);
+    for (std::uint32_t v = 0; v < vertices; ++v) {
+      cursor[v].store(g.offsets[v], std::memory_order_relaxed);
+    }
+    hyper::reducer<hyper::opadd<std::uint64_t>> placed;
+    parallel_for(
+        frame, std::uint64_t{0}, m,
+        [&](Ctx& leaf, std::uint64_t i) {
+          leaf.account(1);
+          const edge e = edges[i];
+          const std::uint64_t slot =
+              cursor[e.src].fetch_add(1, std::memory_order_relaxed);
+          g.targets[slot] = e.dst;
+          placed.view(leaf) += 1;
+        },
+        grain);
+    CILKPP_ASSERT(placed.collect(frame) == m,
+                  "build_csr: scatter phase lost or duplicated edges");
+
+    parallel_for(
+        frame, std::uint32_t{0}, vertices,
+        [&](Ctx& leaf, std::uint32_t v) {
+          const std::uint64_t lo = g.offsets[v];
+          const std::uint64_t hi = g.offsets[v + 1];
+          leaf.account(hi - lo + 1);
+          std::sort(g.targets.begin() + static_cast<std::ptrdiff_t>(lo),
+                    g.targets.begin() + static_cast<std::ptrdiff_t>(hi));
+        },
+        grain);
+    return g;
+  });
+}
+
+/// Parallel transpose: in-degree count, prefix sum, cursor scatter of
+/// (source, original-edge-position) pairs, then a per-row pair sort keyed
+/// (target, edge_ref) so duplicate edges land deterministically too.
+template <typename Ctx>
+csr transpose(Ctx& ctx, const csr& g, std::uint64_t grain = 0) {
+  return ctx.call([&](Ctx& frame) {
+    const std::uint32_t n = g.vertices();
+    const std::uint64_t m = g.edges();
+
+    std::vector<std::atomic<std::uint64_t>> indeg(n);
+    parallel_for(
+        frame, std::uint32_t{0}, n,
+        [&](Ctx& leaf, std::uint32_t u) {
+          leaf.account(g.degree(u) + 1);
+          for (const std::uint32_t v : g.row(u)) {
+            indeg[v].fetch_add(1, std::memory_order_relaxed);
+          }
+        },
+        grain);
+
+    csr t;
+    t.offsets.resize(std::size_t{n} + 1);
+    t.offsets[0] = 0;
+    for (std::uint32_t v = 0; v < n; ++v) {
+      t.offsets[v + 1] = t.offsets[v] + indeg[v].load(std::memory_order_relaxed);
+    }
+    t.targets.resize(m);
+    t.edge_ref.resize(m);
+
+    std::vector<std::atomic<std::uint64_t>> cursor(n);
+    for (std::uint32_t v = 0; v < n; ++v) {
+      cursor[v].store(t.offsets[v], std::memory_order_relaxed);
+    }
+    parallel_for(
+        frame, std::uint32_t{0}, n,
+        [&](Ctx& leaf, std::uint32_t u) {
+          leaf.account(g.degree(u) + 1);
+          for (std::uint64_t k = g.offsets[u]; k < g.offsets[u + 1]; ++k) {
+            const std::uint32_t v = g.targets[k];
+            const std::uint64_t slot =
+                cursor[v].fetch_add(1, std::memory_order_relaxed);
+            t.targets[slot] = u;
+            t.edge_ref[slot] = k;
+          }
+        },
+        grain);
+
+    parallel_for(
+        frame, std::uint32_t{0}, n,
+        [&](Ctx& leaf, std::uint32_t v) {
+          const std::uint64_t lo = t.offsets[v];
+          const std::uint64_t hi = t.offsets[v + 1];
+          leaf.account(hi - lo + 1);
+          // Sort source and edge_ref together, keyed (source, source edge
+          // position) — a total order, so duplicates are canonical too.
+          std::vector<std::pair<std::uint32_t, std::uint64_t>> row;
+          row.reserve(hi - lo);
+          for (std::uint64_t k = lo; k < hi; ++k) {
+            row.emplace_back(t.targets[k], t.edge_ref[k]);
+          }
+          std::sort(row.begin(), row.end());
+          for (std::uint64_t k = lo; k < hi; ++k) {
+            t.targets[k] = row[k - lo].first;
+            t.edge_ref[k] = row[k - lo].second;
+          }
+        },
+        grain);
+    return t;
+  });
+}
+
+}  // namespace cilkpp::graph

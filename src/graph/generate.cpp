@@ -1,0 +1,31 @@
+#include "graph/generate.hpp"
+
+namespace cilkpp::graph {
+
+// The serial conveniences draw the exact per-index streams the parallel
+// generators use and feed the canonical serial builder, so they are
+// bit-identical to any parallel run with the same arguments — handy for
+// reference-side test code that has no scheduler in scope.
+
+csr uniform_graph_serial(std::uint32_t vertices, std::uint64_t count,
+                         std::uint64_t seed) {
+  CILKPP_ASSERT(vertices >= 2, "uniform_graph_serial: need >= 2 vertices");
+  std::vector<edge> edges(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    edges[i] = detail::uniform_edge_at(vertices, seed, i);
+  }
+  return build_csr_serial(vertices, edges);
+}
+
+csr rmat_graph_serial(unsigned scale, std::uint64_t count, std::uint64_t seed,
+                      rmat_params params) {
+  CILKPP_ASSERT(scale >= 1 && scale < 32,
+                "rmat_graph_serial: scale must be in 1..31");
+  std::vector<edge> edges(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    edges[i] = detail::rmat_edge_at(scale, seed, i, params);
+  }
+  return build_csr_serial(1u << scale, edges);
+}
+
+}  // namespace cilkpp::graph

@@ -1,0 +1,89 @@
+// Per-iteration work histograms for irregular graph kernels (ROADMAP
+// "Galois-class graph analytics"): skewed degree distributions are where
+// grain size and steal policy actually get stressed, so every kernel in
+// src/graph reports, per BFS level / PageRank iteration, how much work each
+// loop iteration carried — log2 buckets of per-item work units. A level
+// whose mass sits in one bucket parallelizes with any grain; a level with a
+// heavy tail (RMAT hubs) needs a small grain or the hubs serialize a leaf.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+
+#include "hyper/monoid.hpp"
+#include "hyper/reducer.hpp"
+
+namespace cilkpp::graph {
+
+/// Log2-bucketed distribution of per-iteration work: bucket b counts items
+/// whose work w has bit_width(w) == b, i.e. w in [2^(b-1), 2^b). Bucket 0
+/// holds zero-work items. POD-comparable, so determinism oracles can assert
+/// bit-identical histograms across schedules.
+struct work_histogram {
+  static constexpr unsigned bucket_count = 33;
+
+  std::array<std::uint64_t, bucket_count> buckets{};
+  std::uint64_t items = 0;
+  std::uint64_t work = 0;
+  std::uint64_t max_work = 0;
+
+  void add(std::uint64_t w) {
+    ++items;
+    work += w;
+    if (w > max_work) max_work = w;
+    const unsigned b = static_cast<unsigned>(std::bit_width(w));
+    ++buckets[b < bucket_count ? b : bucket_count - 1];
+  }
+
+  void merge(const work_histogram& o) {
+    for (unsigned b = 0; b < bucket_count; ++b) buckets[b] += o.buckets[b];
+    items += o.items;
+    work += o.work;
+    if (o.max_work > max_work) max_work = o.max_work;
+  }
+
+  double mean_work() const {
+    return items == 0 ? 0.0
+                      : static_cast<double>(work) / static_cast<double>(items);
+  }
+
+  /// Highest non-empty bucket (0 when the histogram is empty): the log2 size
+  /// of the heaviest item — compare against the mean to read the skew.
+  unsigned top_bucket() const {
+    for (unsigned b = bucket_count; b-- > 1;) {
+      if (buckets[b] != 0) return b;
+    }
+    return 0;
+  }
+
+  bool operator==(const work_histogram&) const = default;
+};
+
+/// Monoid over work_histogram: reduce merges bucket-wise. Commutative, so
+/// the reducer's serial-order fold guarantee is not even needed — but using
+/// a reducer keeps every kernel update strand-private and race-free by
+/// construction.
+struct hist_merge {
+  using value_type = work_histogram;
+  static value_type identity() { return {}; }
+  static void reduce(value_type& left, value_type&& right) {
+    left.merge(right);
+  }
+};
+
+using hist_reducer = hyper::reducer<hist_merge>;
+
+/// One kernel iteration (a BFS/BC level, a PageRank sweep): how many loop
+/// items ran, how many vertices changed state, and the per-item work
+/// distribution. The vector of these is the kernel's steal/grain story.
+struct iteration_stats {
+  std::uint32_t index = 0;    ///< level or iteration number
+  std::uint64_t active = 0;   ///< loop items processed this iteration
+  std::uint64_t claimed = 0;  ///< vertices that changed state (0 for PageRank)
+  work_histogram hist;        ///< per-item work units (edges scanned + 1)
+
+  bool operator==(const iteration_stats&) const = default;
+};
+
+}  // namespace cilkpp::graph

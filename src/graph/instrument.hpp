@@ -1,0 +1,52 @@
+// Source-level cilkscreen instrumentation shims for the graph kernels.
+//
+// The repo's race detectors (screen::basic_screen_context) see only what
+// code reports via note_read/note_write — there is no compiler pass. The
+// graph kernels are engine-generic templates, so they call these shims on
+// every shared-array access: under a screen context they forward to the
+// detector (certifying the phase discipline race-free, or catching the bug
+// when a phase boundary is violated); under rt/serial/dag contexts they
+// compile to nothing.
+//
+// Deliberate scope: only *mutable* arrays are reported. The CSR structure
+// itself (offsets/targets/edge_ref) is immutable during kernel execution —
+// no write exists, so no race can, and skipping those notes keeps the
+// detector's access history proportional to the live state, not the edge
+// count.
+#pragma once
+
+#include <cstddef>
+
+namespace cilkpp::graph {
+
+/// Engines with the detector hooks (screen contexts). Everything else gets
+/// the no-op branch below, which the optimizer deletes.
+template <typename Ctx>
+concept screen_engine = requires(Ctx& ctx, const void* addr) {
+  ctx.note_read(addr, std::size_t{}, (const char*)nullptr);
+  ctx.note_write(addr, std::size_t{}, (const char*)nullptr);
+};
+
+template <typename Ctx, typename T>
+inline void note_read(Ctx& ctx, const T& cell, const char* label) {
+  if constexpr (screen_engine<Ctx>) {
+    ctx.note_read(&cell, sizeof(T), label);
+  } else {
+    (void)ctx;
+    (void)cell;
+    (void)label;
+  }
+}
+
+template <typename Ctx, typename T>
+inline void note_write(Ctx& ctx, const T& cell, const char* label) {
+  if constexpr (screen_engine<Ctx>) {
+    ctx.note_write(&cell, sizeof(T), label);
+  } else {
+    (void)ctx;
+    (void)cell;
+    (void)label;
+  }
+}
+
+}  // namespace cilkpp::graph

@@ -1,0 +1,131 @@
+// Push-style PageRank in the Galois lonestar mold (ROADMAP:
+// experimental/hgen/pr-push), with the L1 residual carried by an opadd
+// reducer — no atomics anywhere.
+//
+// The usual push formulation CAS-adds each vertex's share directly into
+// its successors' ranks, which is racy-by-design and nondeterministic in
+// float association. This one keeps the push (each vertex writes its
+// damped share outward) but parks the shares on the *edges*:
+//
+//   push:   contrib[k] = damping·rank[u]/outdeg(u) for u's out-edges k;
+//           dangling vertices pool their rank in an opadd reducer
+//   gather: next[v] = base + Σ contrib over v's in-edges (via the
+//           transpose's edge_ref), in fixed row order
+//
+// Every write is the writer's own slot (contrib[k], next[v]); every read
+// is of the previous phase's output. Race-free without atomics, so the
+// result is deterministic: per-vertex sums run in fixed order, and the
+// reducer folds (dangling mass, residual) follow the frame tree, which is
+// a pure function of the loop structure — bit-identical across worker
+// counts and chaos schedules. (A serial-elision run may associate the
+// reducer folds differently, hence the 1e-9 tolerance in the differential
+// tests.)
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/histogram.hpp"
+#include "graph/instrument.hpp"
+#include "hyper/monoid.hpp"
+#include "hyper/reducer.hpp"
+#include "runtime/parallel_for.hpp"
+
+namespace cilkpp::graph {
+
+struct pagerank_options {
+  double damping = 0.85;
+  std::uint32_t iterations = 20;  ///< full sweeps (upper bound)
+  double tolerance = 0.0;  ///< stop early when L1 residual < tolerance (0: never)
+  std::uint64_t grain = 0;
+};
+
+struct pagerank_result {
+  std::vector<double> rank;        ///< sums to ~1
+  std::vector<double> residuals;   ///< L1 rank change, one per executed sweep
+  std::vector<iteration_stats> iters;  ///< gather-phase work per sweep
+};
+
+/// Body of pagerank(); needs a dedicated frame for reducer collect()s.
+template <typename Ctx>
+pagerank_result pagerank_in_frame(Ctx& ctx, const csr& g, const csr& gt,
+                                  const pagerank_options& opt) {
+  const std::uint32_t n = g.vertices();
+  CILKPP_ASSERT(gt.vertices() == n && gt.edges() == g.edges(),
+                "pagerank: gt must be the transpose of g");
+  pagerank_result out;
+  if (n == 0) return out;
+  out.rank.assign(n, 1.0 / n);
+  std::vector<double> next(n);
+  std::vector<double> contrib(g.edges());
+
+  for (std::uint32_t it = 0; it < opt.iterations; ++it) {
+    hyper::reducer<hyper::opadd<double>> dangling;
+    parallel_for(
+        ctx, std::uint32_t{0}, n,
+        [&](Ctx& leaf, std::uint32_t u) {
+          const std::uint64_t outdeg = g.degree(u);
+          leaf.account(outdeg + 1);
+          note_read(leaf, out.rank[u], "pr.rank");
+          if (outdeg == 0) {
+            dangling.view(leaf) += out.rank[u];
+            return;
+          }
+          const double share =
+              opt.damping * out.rank[u] / static_cast<double>(outdeg);
+          for (std::uint64_t k = g.offsets[u]; k < g.offsets[u + 1]; ++k) {
+            note_write(leaf, contrib[k], "pr.contrib");
+            contrib[k] = share;
+          }
+        },
+        opt.grain);
+    const double base = (1.0 - opt.damping) / n +
+                        opt.damping * dangling.collect(ctx) /
+                            static_cast<double>(n);
+
+    hyper::reducer<hyper::opadd<double>> residual;
+    hist_reducer hist;
+    parallel_for(
+        ctx, std::uint32_t{0}, n,
+        [&, base](Ctx& leaf, std::uint32_t v) {
+          const std::uint64_t indeg = gt.degree(v);
+          leaf.account(indeg + 1);
+          hist.view(leaf).add(indeg + 1);
+          double acc = base;
+          for (std::uint64_t k = gt.offsets[v]; k < gt.offsets[v + 1]; ++k) {
+            note_read(leaf, contrib[gt.edge_ref[k]], "pr.contrib");
+            acc += contrib[gt.edge_ref[k]];
+          }
+          note_read(leaf, out.rank[v], "pr.rank");
+          residual.view(leaf) += std::abs(acc - out.rank[v]);
+          note_write(leaf, next[v], "pr.next");
+          next[v] = acc;
+        },
+        opt.grain);
+
+    const double res = residual.collect(ctx);
+    out.rank.swap(next);
+    out.residuals.push_back(res);
+    iteration_stats stats;
+    stats.index = it + 1;
+    stats.active = n;
+    stats.hist = hist.collect(ctx);
+    out.iters.push_back(std::move(stats));
+    if (opt.tolerance > 0.0 && res < opt.tolerance) break;
+  }
+  return out;
+}
+
+/// Engine-generic push-style PageRank. `gt` must be transpose(g) — the
+/// gather phase walks in-edges through its edge_ref cross-links.
+template <typename Ctx>
+pagerank_result pagerank(Ctx& ctx, const csr& g, const csr& gt,
+                         const pagerank_options& opt = {}) {
+  return ctx.call(
+      [&](Ctx& frame) { return pagerank_in_frame(frame, g, gt, opt); });
+}
+
+}  // namespace cilkpp::graph

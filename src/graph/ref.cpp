@@ -1,0 +1,170 @@
+#include "graph/ref.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "pedigree/dprng.hpp"
+#include "support/assert.hpp"
+
+namespace cilkpp::graph {
+
+namespace {
+constexpr std::uint32_t unreachable = std::numeric_limits<std::uint32_t>::max();
+constexpr std::uint64_t pivot_tag = 0x7069766fu;  // "pivo"
+}  // namespace
+
+std::vector<std::uint32_t> sample_pivots(std::uint32_t vertices,
+                                         std::uint32_t count,
+                                         std::uint64_t seed) {
+  std::vector<std::uint32_t> pivots;
+  if (count >= vertices) {
+    pivots.resize(vertices);
+    std::iota(pivots.begin(), pivots.end(), 0u);
+    return pivots;
+  }
+  ped::dprng_stream s(ped::mix(seed, pivot_tag), 1);
+  std::vector<std::uint8_t> taken(vertices, 0);
+  pivots.reserve(count);
+  while (pivots.size() < count) {
+    const auto v = static_cast<std::uint32_t>(s.below(vertices));
+    if (taken[v] == 0) {
+      taken[v] = 1;
+      pivots.push_back(v);
+    }
+  }
+  return pivots;
+}
+
+std::vector<std::uint32_t> bfs_serial(const csr& g, std::uint32_t source) {
+  std::vector<std::uint32_t> dist(g.vertices(), unreachable);
+  dist[source] = 0;
+  std::vector<std::uint32_t> frontier{source};
+  for (std::uint32_t level = 1; !frontier.empty(); ++level) {
+    std::vector<std::uint32_t> next;
+    for (const std::uint32_t u : frontier) {
+      for (const std::uint32_t v : g.row(u)) {
+        if (dist[v] == unreachable) {
+          dist[v] = level;
+          next.push_back(v);
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  return dist;
+}
+
+std::vector<double> bc_serial(const csr& g, const csr& gt,
+                              const std::vector<std::uint32_t>& pivots) {
+  const std::uint32_t n = g.vertices();
+  CILKPP_ASSERT(gt.vertices() == n && gt.edges() == g.edges(),
+                "bc_serial: gt must be the transpose of g");
+  std::vector<double> centrality(n, 0.0);
+  std::vector<std::uint32_t> dist(n);
+  std::vector<double> sigma(n);
+  std::vector<double> delta(n);
+
+  for (const std::uint32_t s : pivots) {
+    std::fill(dist.begin(), dist.end(), unreachable);
+    std::fill(sigma.begin(), sigma.end(), 0.0);
+    std::fill(delta.begin(), delta.end(), 0.0);
+    dist[s] = 0;
+    sigma[s] = 1.0;
+
+    // Forward, level-synchronous: sigma[v] pulls from in-neighbors at the
+    // previous level, summed in transpose row order (the parallel kernel's
+    // order — the bitwise-equality contract).
+    std::uint32_t max_level = 0;
+    for (std::uint32_t level = 1, claimed = 1; claimed != 0; ++level) {
+      claimed = 0;
+      for (std::uint32_t v = 0; v < n; ++v) {
+        if (dist[v] != unreachable) continue;
+        bool found = false;
+        double sigma_sum = 0.0;
+        for (std::uint64_t k = gt.offsets[v]; k < gt.offsets[v + 1]; ++k) {
+          const std::uint32_t u = gt.targets[k];
+          if (dist[u] == level - 1) {
+            found = true;
+            sigma_sum += sigma[u];
+          }
+        }
+        if (found) {
+          dist[v] = level;
+          sigma[v] = sigma_sum;
+          ++claimed;
+          max_level = level;
+        }
+      }
+    }
+
+    // Backward: deepest level first; per-u sum in CSR row order.
+    for (std::uint32_t d = max_level; d >= 1; --d) {
+      for (std::uint32_t u = 0; u < n; ++u) {
+        if (dist[u] != d) continue;
+        const double su = sigma[u];
+        double sum = 0.0;
+        for (std::uint64_t k = g.offsets[u]; k < g.offsets[u + 1]; ++k) {
+          const std::uint32_t v = g.targets[k];
+          if (dist[v] == d + 1) {
+            sum += su / sigma[v] * (1.0 + delta[v]);
+          }
+        }
+        delta[u] = sum;
+        centrality[u] += sum;
+      }
+    }
+  }
+  return centrality;
+}
+
+pagerank_serial_result pagerank_serial(const csr& g, const csr& gt,
+                                       double damping,
+                                       std::uint32_t iterations) {
+  const std::uint32_t n = g.vertices();
+  CILKPP_ASSERT(gt.vertices() == n && gt.edges() == g.edges(),
+                "pagerank_serial: gt must be the transpose of g");
+  pagerank_serial_result out;
+  if (n == 0) return out;
+  out.rank.assign(n, 1.0 / n);
+  std::vector<double> next(n);
+  std::vector<double> contrib(g.edges());
+
+  for (std::uint32_t it = 0; it < iterations; ++it) {
+    // Push: each vertex writes its damped share onto its out-edges;
+    // dangling vertices pool their whole rank.
+    double dangling = 0.0;
+    for (std::uint32_t u = 0; u < n; ++u) {
+      const std::uint64_t outdeg = g.degree(u);
+      if (outdeg == 0) {
+        dangling += out.rank[u];
+        continue;
+      }
+      const double share =
+          damping * out.rank[u] / static_cast<double>(outdeg);
+      for (std::uint64_t k = g.offsets[u]; k < g.offsets[u + 1]; ++k) {
+        contrib[k] = share;
+      }
+    }
+    const double base =
+        (1.0 - damping) / n + damping * dangling / static_cast<double>(n);
+
+    // Gather: each vertex sums the contributions parked on its in-edges,
+    // in transpose row order via edge_ref.
+    double residual = 0.0;
+    for (std::uint32_t v = 0; v < n; ++v) {
+      double acc = base;
+      for (std::uint64_t k = gt.offsets[v]; k < gt.offsets[v + 1]; ++k) {
+        acc += contrib[gt.edge_ref[k]];
+      }
+      residual += std::abs(acc - out.rank[v]);
+      next[v] = acc;
+    }
+    out.rank.swap(next);
+    out.residuals.push_back(residual);
+  }
+  return out;
+}
+
+}  // namespace cilkpp::graph

@@ -1,0 +1,47 @@
+// Single-threaded reference implementations — the differential oracles for
+// the parallel graph kernels. Written with plain loops and no runtime
+// machinery so a bug in the scheduler, reducers, or phase discipline can't
+// cancel out of the comparison.
+//
+// Arithmetic contract: per-vertex floating-point sums run in CSR row order,
+// the same element order the parallel kernels use. Every per-element value
+// in BFS/BC depends only on the previous level's values, so the parallel
+// kernels must match these references *bitwise* (tests hold them to ==).
+// PageRank's dangling-mass fold associates differently between a reducer
+// tree and this linear loop, so that comparison carries a 1e-9 tolerance.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace cilkpp::graph {
+
+/// `count` distinct pivot vertices, DPRNG-drawn from `seed` (a pure
+/// function of (vertices, count, seed) — schedule-independent by
+/// construction). count >= vertices returns every vertex in order, which
+/// makes betweenness() exact.
+std::vector<std::uint32_t> sample_pivots(std::uint32_t vertices,
+                                         std::uint32_t count,
+                                         std::uint64_t seed);
+
+/// Hop distance from source per vertex; bc_unreachable if unreachable.
+std::vector<std::uint32_t> bfs_serial(const csr& g, std::uint32_t source);
+
+/// Brandes betweenness over the given pivots (unnormalized dependency sum,
+/// matching betweenness() with the same pivot list).
+std::vector<double> bc_serial(const csr& g, const csr& gt,
+                              const std::vector<std::uint32_t>& pivots);
+
+struct pagerank_serial_result {
+  std::vector<double> rank;
+  std::vector<double> residuals;  ///< L1 rank change per iteration
+};
+
+/// Push-style PageRank, `iterations` full sweeps (no early exit).
+pagerank_serial_result pagerank_serial(const csr& g, const csr& gt,
+                                       double damping,
+                                       std::uint32_t iterations);
+
+}  // namespace cilkpp::graph

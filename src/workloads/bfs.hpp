@@ -1,49 +1,65 @@
 // Parallel level-synchronous breadth-first search (paper Sec. 2.3: BFS on
-// large irregular graphs exhibits parallelism "on the order of thousands").
+// large irregular graphs exhibits parallelism "on the order of thousands"),
+// over the src/graph CSR module.
 //
 // Each level expands the whole frontier with a parallel_for; vertices are
 // claimed with a compare-and-swap on their distance, and the next frontier
-// is assembled with a vector-append reducer, so its order is the serial
-// execution's regardless of scheduling.
+// is assembled with a vector-append reducer. Distances are deterministic;
+// frontier order within a level follows the reducer's serial fold. (The
+// graph module's betweenness() contains the atomics-free pull variant; this
+// push/CAS formulation is the paper's classic irregular workload and feeds
+// the parallelism survey.)
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <limits>
+#include <utility>
 #include <vector>
 
+#include "graph/csr.hpp"
+#include "graph/histogram.hpp"
 #include "hyper/monoid.hpp"
 #include "hyper/reducer.hpp"
 #include "runtime/parallel_for.hpp"
-#include "workloads/sparse.hpp"
 
 namespace cilkpp::workloads {
 
 inline constexpr std::uint32_t bfs_unreachable =
     std::numeric_limits<std::uint32_t>::max();
 
-/// Body of bfs(), running in a frame with no unrelated children (required
-/// because the per-level frontier reducers are collect()ed here).
+struct bfs_run {
+  std::vector<std::uint32_t> dist;
+  /// One entry per level: active = frontier size, claimed = next frontier
+  /// size, hist = per-frontier-vertex work (out-degree + 1).
+  std::vector<graph::iteration_stats> levels;
+};
+
+/// Body of bfs_profiled(), running in a frame with no unrelated children
+/// (required because the per-level reducers are collect()ed here).
 template <typename Ctx>
-std::vector<std::uint32_t> bfs_in_frame(Ctx& ctx, const csr& g,
-                                        std::uint32_t source,
-                                        std::uint64_t grain) {
-  std::vector<std::atomic<std::uint32_t>> dist(g.rows());
+bfs_run bfs_in_frame(Ctx& ctx, const graph::csr& g, std::uint32_t source,
+                     std::uint64_t grain) {
+  std::vector<std::atomic<std::uint32_t>> dist(g.vertices());
   for (auto& d : dist) d.store(bfs_unreachable, std::memory_order_relaxed);
   dist[source].store(0, std::memory_order_relaxed);
 
+  bfs_run out;
   std::vector<std::uint32_t> frontier{source};
   std::uint32_t level = 0;
   while (!frontier.empty()) {
     ++level;
     hyper::reducer<hyper::vector_append<std::uint32_t>> next;
+    graph::hist_reducer hist;
     parallel_for(
         ctx, std::size_t{0}, frontier.size(),
         [&, level](Ctx& leaf, std::size_t i) {
           const std::uint32_t u = frontier[i];
-          leaf.account(g.row_begin[u + 1] - g.row_begin[u] + 1);
-          for (std::uint32_t e = g.row_begin[u]; e < g.row_begin[u + 1]; ++e) {
-            const std::uint32_t v = g.col[e];
+          const std::uint64_t deg = g.degree(u);
+          leaf.account(deg + 1);
+          hist.view(leaf).add(deg + 1);
+          for (std::uint64_t e = g.offsets[u]; e < g.offsets[u + 1]; ++e) {
+            const std::uint32_t v = g.targets[e];
             std::uint32_t expected = bfs_unreachable;
             if (dist[v].compare_exchange_strong(expected, level,
                                                 std::memory_order_relaxed)) {
@@ -52,24 +68,40 @@ std::vector<std::uint32_t> bfs_in_frame(Ctx& ctx, const csr& g,
           }
         },
         grain);
-    frontier = next.collect(ctx);  // local reducer: retire its views now
+    std::vector<std::uint32_t> claimed = next.collect(ctx);
+    graph::iteration_stats stats;
+    stats.index = level;
+    stats.active = frontier.size();
+    stats.claimed = claimed.size();
+    stats.hist = hist.collect(ctx);
+    out.levels.push_back(std::move(stats));
+    frontier = std::move(claimed);
   }
 
-  std::vector<std::uint32_t> result(g.rows());
-  for (std::size_t i = 0; i < result.size(); ++i)
-    result[i] = dist[i].load(std::memory_order_relaxed);
-  return result;
+  out.dist.resize(g.vertices());
+  for (std::size_t i = 0; i < out.dist.size(); ++i) {
+    out.dist[i] = dist[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+/// Engine-generic parallel BFS with per-level frontier statistics.
+template <typename Ctx>
+bfs_run bfs_profiled(Ctx& ctx, const graph::csr& g, std::uint32_t source,
+                     std::uint64_t grain = 64) {
+  // A dedicated frame: collect() requires no unrelated children in flight.
+  return ctx.call([&](Ctx& bfs_frame) {
+    return bfs_in_frame(bfs_frame, g, source, grain);
+  });
 }
 
 /// Engine-generic parallel BFS. Returns hop distances from source.
 /// `grain` is the parallel_for grain over the frontier.
 template <typename Ctx>
-std::vector<std::uint32_t> bfs(Ctx& ctx, const csr& g, std::uint32_t source,
+std::vector<std::uint32_t> bfs(Ctx& ctx, const graph::csr& g,
+                               std::uint32_t source,
                                std::uint64_t grain = 64) {
-  // A dedicated frame: collect() requires no unrelated children in flight.
-  return ctx.call([&](Ctx& bfs_frame) {
-    return bfs_in_frame(bfs_frame, g, source, grain);
-  });
+  return bfs_profiled(ctx, g, source, grain).dist;
 }
 
 }  // namespace cilkpp::workloads

@@ -1,7 +1,5 @@
 #include "workloads/sparse.hpp"
 
-#include <limits>
-
 #include "support/assert.hpp"
 #include "support/rng.hpp"
 
@@ -34,29 +32,6 @@ csr random_sparse_matrix(std::uint32_t n, std::uint32_t avg_nnz_per_row,
   xoshiro256 rng(seed ^ 0xabcdef0123456789ULL);
   for (double& v : a.value) v = rng.unit() * 2.0 - 1.0;
   return a;
-}
-
-std::vector<std::uint32_t> bfs_serial(const csr& g, std::uint32_t source) {
-  constexpr auto unreachable = std::numeric_limits<std::uint32_t>::max();
-  std::vector<std::uint32_t> dist(g.rows(), unreachable);
-  std::vector<std::uint32_t> frontier{source};
-  dist[source] = 0;
-  std::uint32_t level = 0;
-  while (!frontier.empty()) {
-    ++level;
-    std::vector<std::uint32_t> next;
-    for (std::uint32_t u : frontier) {
-      for (std::uint32_t e = g.row_begin[u]; e < g.row_begin[u + 1]; ++e) {
-        const std::uint32_t v = g.col[e];
-        if (dist[v] == unreachable) {
-          dist[v] = level;
-          next.push_back(v);
-        }
-      }
-    }
-    frontier = std::move(next);
-  }
-  return dist;
 }
 
 std::vector<double> spmv_serial(const csr& a, const std::vector<double>& x) {

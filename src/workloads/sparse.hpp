@@ -1,8 +1,8 @@
-// Sparse substrates for the Sec. 2.3 parallelism survey: a CSR graph for
-// breadth-first search ("problems on large irregular graphs, such as
-// breadth-first search, generally exhibit parallelism on the order of
-// thousands") and a CSR matrix for sparse matrix–vector product ("sparse
-// matrix algorithms can often exhibit parallelism in the hundreds").
+// Sparse-matrix substrate for the Sec. 2.3 parallelism survey: a CSR
+// matrix for sparse matrix–vector product ("sparse matrix algorithms can
+// often exhibit parallelism in the hundreds"). Graph workloads (BFS, the
+// analytics kernels) live on src/graph's richer CSR module; this one stays
+// minimal and keeps the weighted-matrix shape spmv needs.
 #pragma once
 
 #include <cstdint>
@@ -31,10 +31,6 @@ csr random_graph(std::uint32_t vertices, std::uint32_t avg_degree,
 /// (values in [-1, 1)).
 csr random_sparse_matrix(std::uint32_t n, std::uint32_t avg_nnz_per_row,
                          std::uint64_t seed);
-
-/// Serial BFS reference: distance (in hops) from source, or UINT32_MAX if
-/// unreachable.
-std::vector<std::uint32_t> bfs_serial(const csr& g, std::uint32_t source);
 
 /// Serial SpMV reference: y = A·x.
 std::vector<double> spmv_serial(const csr& a, const std::vector<double>& x);

@@ -8,6 +8,8 @@
 #include <numeric>
 
 #include "cilk.hpp"
+#include "graph/generate.hpp"
+#include "graph/ref.hpp"
 #include "support/rng.hpp"
 #include "workloads/bfs.hpp"
 #include "workloads/fib.hpp"
@@ -201,7 +203,8 @@ TEST(Interactions, StressMixedWorkloadsOneScheduler) {
   rt::scheduler sched(4);
   for (int round = 0; round < 3; ++round) {
     auto data = workloads::random_doubles(20000, 1000 + round);
-    const workloads::csr g = workloads::random_graph(2000, 6, round + 1);
+    const graph::csr g = graph::uniform_graph_serial(
+        2000, 12000, static_cast<std::uint64_t>(round) + 1);
     std::uint64_t fib_result = 0;
     std::vector<std::uint32_t> dist;
     sched.run([&](rt::context& ctx) {
@@ -214,7 +217,7 @@ TEST(Interactions, StressMixedWorkloadsOneScheduler) {
     });
     EXPECT_EQ(fib_result, workloads::fib_serial(18));
     EXPECT_TRUE(std::is_sorted(data.begin(), data.end()));
-    EXPECT_EQ(dist, workloads::bfs_serial(g, 0));
+    EXPECT_EQ(dist, graph::bfs_serial(g, 0));
   }
 }
 

@@ -14,6 +14,9 @@
 #include <stdexcept>
 #include <thread>
 
+#include "graph/bc.hpp"
+#include "graph/generate.hpp"
+#include "graph/pagerank.hpp"
 #include "hyper/reducer.hpp"
 #include "lint/analyzer.hpp"
 #include "runtime/parallel_for.hpp"
@@ -522,6 +525,82 @@ TEST(Oversubscription, FourTimesHardwareThreadsStaysCorrectAndBounded) {
   h.run_case(stress_case{777, 5, P, 16}, rep);
   h.run_case(stress_case{778, 13, P, 16}, rep);
   EXPECT_TRUE(rep.ok()) << rep.summary();
+}
+
+// --- Graph leg: the analytics kernels under schedule chaos. The graph
+// module's contract is determinism *by construction* (index-keyed DPRNG
+// generators, phase-disciplined kernels, frame-tree reducer folds), so
+// everything — the generated graph, BC centralities, PageRank ranks and
+// residuals, the per-level work histograms, the pivot draw vector — must be
+// BIT-identical under every chaos schedule, not merely close. ---
+
+TEST(GraphLeg, ChaosSweepBcPagerankBitIdentical) {
+  constexpr unsigned scale = 12;          // 4096 vertices
+  constexpr std::uint64_t edges = 50000;  // the ISSUE's 50k-edge RMAT graph
+  const graph::bc_options bc_opt{.pivots = 4, .seed = 3, .grain = 64};
+  const graph::pagerank_options pr_opt{.iterations = 5, .grain = 64};
+
+  // Reference: a chaos-free 4-worker run of the whole pipeline.
+  graph::csr ref_g, ref_gt;
+  graph::bc_result ref_bc;
+  graph::pagerank_result ref_pr;
+  {
+    rt::scheduler sched(4);
+    sched.run([&](rt::context& ctx) {
+      ref_g = graph::rmat_graph(ctx, scale, edges, 11);
+      ref_gt = graph::transpose(ctx, ref_g);
+      ref_bc = graph::betweenness(ctx, ref_g, ref_gt, bc_opt);
+      ref_pr = graph::pagerank(ctx, ref_g, ref_gt, pr_opt);
+    });
+  }
+  ASSERT_EQ(ref_g.edges(), edges);
+
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    seeded_chaos chaos(seed, 4);  // declared before the scheduler
+    rt::scheduler sched(4);
+    sched.install_chaos(&chaos);
+    graph::csr g, gt;
+    graph::bc_result bc;
+    graph::pagerank_result pr;
+    sched.run([&](rt::context& ctx) {
+      g = graph::rmat_graph(ctx, scale, edges, 11);
+      gt = graph::transpose(ctx, g);
+      bc = graph::betweenness(ctx, g, gt, bc_opt);
+      pr = graph::pagerank(ctx, g, gt, pr_opt);
+    });
+    sched.remove_chaos();
+
+    // The generated graph is the edge-draw vector, materialized.
+    EXPECT_EQ(g, ref_g) << "chaos seed " << seed;
+    EXPECT_EQ(gt, ref_gt) << "chaos seed " << seed;
+    // The pivot list is the kernel's own DPRNG draw vector.
+    EXPECT_EQ(bc.pivots, ref_bc.pivots) << "chaos seed " << seed;
+    EXPECT_EQ(bc.centrality, ref_bc.centrality) << "chaos seed " << seed;
+    EXPECT_EQ(bc.levels, ref_bc.levels) << "chaos seed " << seed;
+    // Doubles compared with ==: reducer folds follow the frame tree, which
+    // chaos cannot move.
+    EXPECT_EQ(pr.rank, ref_pr.rank) << "chaos seed " << seed;
+    EXPECT_EQ(pr.residuals, ref_pr.residuals) << "chaos seed " << seed;
+    EXPECT_EQ(pr.iters, ref_pr.iters) << "chaos seed " << seed;
+  }
+}
+
+// Cilkscreen certification of the same kernels on a reduced graph (the
+// screen engines execute serially, so this rides the existing screen leg's
+// budget): zero reports expected.
+TEST(GraphLeg, KernelsScreenCleanOnReducedGraph) {
+  const graph::csr g = graph::rmat_graph_serial(8, 2000, 11);
+  const graph::csr gt = graph::transpose_serial(g);
+  screen::detector d;
+  screen::run_under_detector(d, [&](screen::screen_context& ctx) {
+    const graph::bc_result bc = graph::betweenness(
+        ctx, g, gt, graph::bc_options{.pivots = 3, .seed = 1, .grain = 16});
+    const graph::pagerank_result pr = graph::pagerank(
+        ctx, g, gt, graph::pagerank_options{.iterations = 3, .grain = 16});
+    EXPECT_EQ(bc.centrality.size(), g.vertices());
+    EXPECT_EQ(pr.rank.size(), g.vertices());
+  });
+  EXPECT_FALSE(d.found_races());
 }
 
 }  // namespace

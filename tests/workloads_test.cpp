@@ -16,6 +16,8 @@
 #include "runtime/parallel_for.hpp"
 #include "runtime/scheduler.hpp"
 #include "runtime/serial.hpp"
+#include "graph/generate.hpp"
+#include "graph/ref.hpp"
 #include "workloads/bfs.hpp"
 #include "workloads/fib.hpp"
 #include "workloads/matmul.hpp"
@@ -232,8 +234,8 @@ TEST(Matmul, RecordedParallelismGrowsSuperlinearly) {
 // --- BFS. ---
 
 TEST(Bfs, MatchesSerialReferenceAcrossEngines) {
-  const csr g = random_graph(5000, 8, 99);
-  const auto expected = bfs_serial(g, 0);
+  const graph::csr g = graph::uniform_graph_serial(5000, 40000, 99);
+  const auto expected = graph::bfs_serial(g, 0);
 
   scheduler sched(4);
   const auto parallel = sched.run([&](context& ctx) { return bfs(ctx, g, 0); });
@@ -244,16 +246,50 @@ TEST(Bfs, MatchesSerialReferenceAcrossEngines) {
 }
 
 TEST(Bfs, DisconnectedVerticesStayUnreachable) {
-  // A graph with an isolated tail: vertices ≥ k have no in-edges from the
-  // reachable part if we cut all columns ≥ k.
-  csr g = random_graph(100, 4, 3);
-  for (auto& c : g.col) c %= 50;  // edges only among the first 50
+  // A graph with an isolated tail: all edges among the first 50 vertices,
+  // so vertices >= 50 have no in-edges and stay unreachable.
+  std::vector<graph::edge> edges = graph::to_edge_list(
+      graph::uniform_graph_serial(50, 200, 3));
+  const graph::csr g = graph::build_csr_serial(100, edges);
   scheduler sched(2);
   const auto dist = sched.run([&](context& ctx) { return bfs(ctx, g, 0); });
-  bool any_unreachable = false;
   for (std::uint32_t v = 50; v < 100; ++v)
-    any_unreachable |= (dist[v] == bfs_unreachable);
-  EXPECT_TRUE(any_unreachable);
+    EXPECT_EQ(dist[v], bfs_unreachable);
+}
+
+TEST(Bfs, FrontierSizeOracle) {
+  // bfs_profiled's per-level stats must agree with the level census of the
+  // serial distances: active(level) = #vertices at level-1's distance... in
+  // fact active = |frontier| = #vertices at distance level-1, and claimed =
+  // #vertices at distance level. Histograms carry one entry per frontier
+  // vertex with work = out-degree + 1.
+  const graph::csr g = graph::uniform_graph_serial(3000, 18000, 12);
+  const auto dist = graph::bfs_serial(g, 0);
+  std::vector<std::uint64_t> census;  // census[d] = #vertices at distance d
+  for (const std::uint32_t d : dist) {
+    if (d == bfs_unreachable) continue;
+    if (census.size() <= d) census.resize(d + 1, 0);
+    ++census[d];
+  }
+
+  scheduler sched(4);
+  const bfs_run run = sched.run(
+      [&](context& ctx) { return bfs_profiled(ctx, g, 0, 64); });
+  ASSERT_EQ(run.dist, dist);
+  ASSERT_EQ(run.levels.size(), census.size());  // last level claims nothing
+  for (const graph::iteration_stats& lvl : run.levels) {
+    EXPECT_EQ(lvl.active, census[lvl.index - 1]);
+    const std::uint64_t claimed =
+        lvl.index < census.size() ? census[lvl.index] : 0;
+    EXPECT_EQ(lvl.claimed, claimed);
+    EXPECT_EQ(lvl.hist.items, lvl.active);
+    // Work = Σ (out-degree + 1) over the frontier, computable from offsets.
+    std::uint64_t work = 0;
+    for (std::uint32_t v = 0; v < g.vertices(); ++v) {
+      if (dist[v] == lvl.index - 1) work += g.degree(v) + 1;
+    }
+    EXPECT_EQ(lvl.hist.work, work);
+  }
 }
 
 // --- SpMV. ---
@@ -301,7 +337,7 @@ TEST(ParallelismSurvey, RegimesOrderAsThePaperClaims) {
            })).parallelism();
   }();
   auto bfs_par = [] {
-    const csr g = random_graph(60000, 16, 5);
+    const graph::csr g = graph::uniform_graph_serial(60000, 960000, 5);
     return dag::analyze(dag::record([&](dag::recorder_context& ctx) {
              (void)bfs(ctx, g, 0, 4);
            })).parallelism();
