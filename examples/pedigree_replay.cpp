@@ -129,11 +129,11 @@ int main() {
   stress::run_state st(p);
   ped::replay_context pruned(ped::parse(ped::to_string(strand)));
   stress::interp(pruned, p, p.root, st);
-  const bool match = st.slots[victim] == ref.slots[victim];
+  const bool match = *st.slots[victim] == *ref.slots[victim];
   std::cout << "  pruned replay: reached " << (pruned.reached() ? "yes" : "NO")
             << ", frames " << pruned.frames_entered() << " entered / "
             << pruned.frames_skipped() << " skipped, slot value "
-            << st.slots[victim] << " (full run: " << ref.slots[victim]
+            << *st.slots[victim] << " (full run: " << *ref.slots[victim]
             << (match ? ", match)\n" : ", MISMATCH)\n");
   return (fp_bags == fp_order && replay.reached() && pruned.reached() && match)
              ? 0

@@ -109,6 +109,15 @@ void detector::on_access(proc_id current, const void* addr, std::size_t size,
 #else
   const std::uint64_t cur_rank = 0;
 #endif
+#if CILKPP_MEMLENS_ENABLED
+  // Cache-line sharing analysis rides the same stream and the same SP
+  // query; it classifies whole accesses (not bytes), so it runs once per
+  // event, before the byte loop.
+  if (lens_ != nullptr) {
+    lens_->on_access(current, current, base, size, kind, label,
+                     [this](const proc_id& s) { return bags_.in_p_bag(s); });
+  }
+#endif
   for (std::size_t k = 0; k < size; ++k) {
     shadow_.cell(base + k).hist.access(
         current, current, cur_rank, kind, held_, label, parallel,
@@ -205,6 +214,13 @@ void detector::register_hyperobject(const rt::hyperobject_base& h,
                                     const void* base, std::size_t size,
                                     const char* label) {
   const auto lo = reinterpret_cast<std::uintptr_t>(base);
+#if CILKPP_MEMLENS_ENABLED
+  // The hyperobject's value bytes are a runtime-owned region: co-residency
+  // with a neighboring structure is a padding lint (memlens/analyzer.hpp).
+  if (lens_ != nullptr) {
+    lens_->on_region(base, size, label != nullptr ? label : "reducer view");
+  }
+#endif
   if (hyper_state* hs = find_hyper(h)) {
     hs->lo = lo;
     hs->hi = lo + size;

@@ -35,6 +35,7 @@
 #include "cilkscreen/shadow.hpp"
 #include "cilkscreen/spbags.hpp"
 #include "lint/analyzer.hpp"
+#include "memlens/analyzer.hpp"
 
 namespace cilkpp::rt {
 struct hyperobject_base;  // identity only; defined in runtime/hyper_iface.hpp
@@ -109,6 +110,31 @@ class detector {
                      const char* label = nullptr);
 #endif
 
+#if CILKPP_MEMLENS_ENABLED
+  // --- Cache-line sharing analysis (cilk::memlens). ---
+  /// The memlens analyzer for this engine: strands are identified by
+  /// proc_id and the remembered-vs-current parallel predicate is the
+  /// engine's own (exact) race query — see memlens/analyzer.hpp.
+  using memlens_analyzer = memlens::analyzer<proc_id>;
+  /// Attaches (nullptr: detaches) an analyzer; it receives every
+  /// instrumented access and registered region from here on. The analyzer
+  /// must outlive its attachment; call ml->finish() after the run.
+  void attach_memlens(memlens_analyzer* ml) {
+    lens_ = ml;
+#if CILKPP_PEDIGREE_ENABLED
+    if (ml != nullptr) ml->set_pedigrees(&peds_);
+#endif
+  }
+  memlens_analyzer* attached_memlens() const { return lens_; }
+  /// Registers a runtime-owned allocation for the padding lints (reducer
+  /// view slots arrive automatically via register_hyperobject; this is the
+  /// hook for everything else — pools, stat blocks, arenas).
+  void lens_region(const void* base, std::size_t size,
+                   const char* label = nullptr) {
+    if (lens_ != nullptr) lens_->on_region(base, size, label);
+  }
+#endif
+
   // --- Results. ---
   /// Reports in deterministic (address, first_proc, second_proc) order.
   const std::vector<race_record>& races() const;
@@ -152,6 +178,9 @@ class detector {
   sp_bags bags_;
 #if CILKPP_LINT_ENABLED
   lint_analyzer* lint_ = nullptr;
+#endif
+#if CILKPP_MEMLENS_ENABLED
+  memlens_analyzer* lens_ = nullptr;
 #endif
 #if CILKPP_PEDIGREE_ENABLED
   ped::proc_pedigrees peds_;

@@ -93,6 +93,18 @@ class basic_screen_context {
   }
 #endif
 
+#if CILKPP_MEMLENS_ENABLED
+  /// Memlens hook: registers a runtime-owned allocation [base, base+size)
+  /// (a reducer view slot, a pool element, a stat block) so an attached
+  /// memlens::analyzer can lint distinct structures sharing a cache line.
+  /// No-op without an attached analyzer; reducer value bytes are registered
+  /// automatically via register_hyperobject.
+  void note_lens_region(const void* base, std::size_t size,
+                        const char* label = nullptr) {
+    d_->lens_region(base, size, label);
+  }
+#endif
+
 #if CILKPP_PEDIGREE_ENABLED
   /// Pedigree surface, mirroring rt::context: the current strand's rank-list
   /// identity, its hash, and the deterministic DPRNG stream seeded by it.

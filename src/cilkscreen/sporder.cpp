@@ -159,6 +159,16 @@ void order_detector::on_access(proc_id current, const void* addr,
 #else
   const std::uint64_t cur_rank = 0;
 #endif
+#if CILKPP_MEMLENS_ENABLED
+  // Cache-line sharing analysis rides the same stream and the same SP
+  // query; once per event, before the byte loop (see detector.cpp).
+  if (lens_ != nullptr) {
+    lens_->on_access(cur_h, current, base, size, kind, label,
+                     [cur_h](om_list::node* const& s) {
+                       return om_list::precedes(cur_h, s);
+                     });
+  }
+#endif
   for (std::size_t k = 0; k < size; ++k) {
     shadow_.cell(base + k).hist.access(
         cur_h, current, cur_rank, kind, held_, label, parallel,
@@ -262,6 +272,12 @@ void order_detector::register_hyperobject(const rt::hyperobject_base& h,
                                           const void* base, std::size_t size,
                                           const char* label) {
   const auto lo = reinterpret_cast<std::uintptr_t>(base);
+#if CILKPP_MEMLENS_ENABLED
+  // Mirror of detector.cpp: the value bytes are a padding-lint region.
+  if (lens_ != nullptr) {
+    lens_->on_region(base, size, label != nullptr ? label : "reducer view");
+  }
+#endif
   if (hyper_state* hs = find_hyper(h)) {
     hs->lo = lo;
     hs->hi = lo + size;

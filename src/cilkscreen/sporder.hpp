@@ -38,6 +38,7 @@
 #include "cilkscreen/report.hpp"
 #include "cilkscreen/shadow.hpp"
 #include "lint/analyzer.hpp"
+#include "memlens/analyzer.hpp"
 
 namespace cilkpp::rt {
 struct hyperobject_base;  // identity only; defined in runtime/hyper_iface.hpp
@@ -94,6 +95,29 @@ class order_detector {
   void on_view_fetch(proc_id current, const rt::hyperobject_base& h,
                      const void* base, std::size_t size,
                      const char* label = nullptr);
+#endif
+
+#if CILKPP_MEMLENS_ENABLED
+  // --- Cache-line sharing analysis (cilk::memlens). ---
+  /// Strands are identified by their Hebrew-order node; the parallel
+  /// predicate is one H-label comparison, exact as always. Accessor
+  /// identity inside the analyzer is (proc, pedigree rank) — shared with
+  /// the SP-bags attachment — which is what makes the two engines' lens
+  /// reports bit-identical.
+  using memlens_analyzer = memlens::analyzer<om_list::node*>;
+  void attach_memlens(memlens_analyzer* ml) {
+    lens_ = ml;
+#if CILKPP_PEDIGREE_ENABLED
+    if (ml != nullptr) ml->set_pedigrees(&peds_);
+#endif
+  }
+  memlens_analyzer* attached_memlens() const { return lens_; }
+  /// Registers a runtime-owned allocation for the padding lints (see
+  /// detector.hpp).
+  void lens_region(const void* base, std::size_t size,
+                   const char* label = nullptr) {
+    if (lens_ != nullptr) lens_->on_region(base, size, label);
+  }
 #endif
 
   // --- Results. ---
@@ -157,6 +181,9 @@ class order_detector {
   om_list hebrew_;
 #if CILKPP_LINT_ENABLED
   lint_analyzer* lint_ = nullptr;
+#endif
+#if CILKPP_MEMLENS_ENABLED
+  memlens_analyzer* lens_ = nullptr;
 #endif
 #if CILKPP_PEDIGREE_ENABLED
   ped::proc_pedigrees peds_;

@@ -63,6 +63,17 @@ concept lints_views = requires(Ctx& ctx, rt::hyperobject_base& h,
   ctx.note_view_fetch(h, base, std::size_t{}, (const char*)nullptr);
 };
 
+/// Detects screen contexts with the memlens region hook (present when the
+/// memlens layer is compiled in): view() additionally registers the view
+/// slot's bytes as a runtime-owned region, so an attached memlens::analyzer
+/// can lint view slots of DIFFERENT reducers landing on one cache line —
+/// the classic "two adjacent counters ping-pong one line" false-sharing
+/// shape, caught structurally before any parallel traffic shows it.
+template <typename Ctx>
+concept lenses_views = requires(Ctx& ctx, const void* base) {
+  ctx.note_lens_region(base, std::size_t{}, (const char*)nullptr);
+};
+
 template <monoid M>
 class reducer final : public rt::hyperobject_base {
  public:
@@ -97,6 +108,10 @@ class reducer final : public rt::hyperobject_base {
       if constexpr (lints_views<Ctx>) {
         ctx.note_view_fetch(*this, &leftmost_, sizeof(leftmost_),
                             this->debug_label());
+      }
+      if constexpr (lenses_views<Ctx>) {
+        ctx.note_lens_region(&leftmost_, sizeof(leftmost_),
+                             this->debug_label());
       }
       ctx.note_view_access(*this, &leftmost_, sizeof(leftmost_),
                            /*is_write=*/true, this->debug_label());

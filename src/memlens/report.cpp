@@ -1,0 +1,96 @@
+#include "memlens/report.hpp"
+
+#include <cstdio>
+
+#include "pedigree/pedigree.hpp"
+
+namespace cilkpp::memlens {
+
+namespace {
+
+void append_label(std::string& out, const std::string& label) {
+  if (label.empty()) return;
+  out += " (";
+  out += label;
+  out += ")";
+}
+
+void append_kind(std::string& out, screen::access_kind k) {
+  out += k == screen::access_kind::write ? "write" : "read";
+}
+
+void append_ped(std::string& out, const ped::pedigree& p) {
+  if (p.empty()) return;
+  out += ' ';
+  out += ped::to_string(p);
+}
+
+std::string hex(std::uintptr_t v) {
+  char buf[2 + 2 * sizeof(std::uintptr_t) + 1];
+  std::snprintf(buf, sizeof(buf), "0x%llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace
+
+std::string render_mask(byte_mask m) {
+  if (m == 0) return "bytes {}";
+  std::string out = "bytes [";
+  out += std::to_string(mask_low(m));
+  out += ",";
+  out += std::to_string(mask_high(m));
+  out += "]";
+  return out;
+}
+
+std::string render_lens(const lens_record& r, const screen::proc_tree& tree) {
+  std::string out;
+  switch (r.kind) {
+    case lens_kind::false_sharing:
+      out += "false sharing on line ";
+      out += hex(r.line);
+      out += ": ";
+      append_kind(out, r.first);
+      out += ' ';
+      out += render_mask(r.first_mask);
+      append_label(out, r.first_label);
+      out += " by ";
+      out += tree.path(r.first_proc);
+      append_ped(out, r.first_ped);
+      out += " vs ";
+      append_kind(out, r.second);
+      out += ' ';
+      out += render_mask(r.second_mask);
+      append_label(out, r.second_label);
+      out += " by ";
+      out += tree.path(r.second_proc);
+      append_ped(out, r.second_ped);
+      break;
+    case lens_kind::padding:
+      out += "padding: ";
+      out += r.first_label.empty() ? "region" : r.first_label;
+      out += ' ';
+      out += render_mask(r.first_mask);
+      out += " and ";
+      out += r.second_label.empty() ? "region" : r.second_label;
+      out += ' ';
+      out += render_mask(r.second_mask);
+      out += " share one cache line at ";
+      out += hex(r.line);
+      break;
+  }
+  return out;
+}
+
+std::string render_lenses(const std::vector<lens_record>& records,
+                          const screen::proc_tree& tree) {
+  std::string out;
+  for (const lens_record& r : records) {
+    out += render_lens(r, tree);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace cilkpp::memlens

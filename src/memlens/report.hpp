@@ -1,0 +1,36 @@
+// Rendering memlens diagnostics.
+//
+// Mirrors cilkscreen/report.hpp and lint/report.hpp: both endpoints of a
+// lens_record resolve through the engine's proc_tree into spawn-path
+// strings, byte masks render as within-line spans, e.g.
+//
+//   false sharing on line 0x7ffc...c0: write bytes [0,7] (stripe) by
+//       root/spawn#1 <0,0,0> vs write bytes [8,15] (stripe) by
+//       root/spawn#2 <0,1,0>
+//   padding: reducer view bytes [0,7] and reducer view bytes [8,15] share
+//       one cache line
+//
+// Records render in the analyzer's deterministic lens_report_order, so tool
+// output diffs cleanly across runs and engines.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cilkscreen/report.hpp"
+#include "memlens/memlens_types.hpp"
+
+namespace cilkpp::memlens {
+
+/// One diagnostic as plain text, endpoints resolved through the tree.
+std::string render_lens(const lens_record& r, const screen::proc_tree& tree);
+
+/// All diagnostics, one per line, in the order given (the analyzer's
+/// records() accessor already sorts deterministically).
+std::string render_lenses(const std::vector<lens_record>& records,
+                          const screen::proc_tree& tree);
+
+/// "bytes [lo,hi]" for a (possibly sparse) byte mask; "bytes {}" when empty.
+std::string render_mask(byte_mask m);
+
+}  // namespace cilkpp::memlens

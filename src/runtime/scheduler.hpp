@@ -196,9 +196,14 @@ struct worker {
 
   unsigned id;
   scheduler* sched;
-  chase_lev_deque<task*> deque;
+  chase_lev_deque<task*> deque;  // top_/bottom_ are line-padded internally
   xoshiro256 rng;
-  std::atomic<std::uint64_t> spawns{0};
+  /// Single-writer stat block (every bump_counter target): 8 counters = 64
+  /// bytes on exactly one line of their own, so the owner's spawn/sync-path
+  /// stores never ping-pong a line shared with the thief-facing deque
+  /// fields above or the install pointers below (cilk::memlens lints
+  /// exactly this shape as a padding record when regions co-reside).
+  alignas(cache_line_size) std::atomic<std::uint64_t> spawns{0};
   std::atomic<std::uint64_t> steals{0};
   std::atomic<std::uint64_t> steal_attempts{0};
   std::atomic<std::uint64_t> tasks_executed{0};
@@ -210,12 +215,15 @@ struct worker {
   std::atomic<std::uint64_t> live_frames{0};
   std::atomic<std::uint64_t> peak_live_frames{0};
   /// steals_from[v]: successful steals whose victim was worker v. Sized at
-  /// construction and never resized (atomics are immovable).
-  std::vector<std::atomic<std::uint64_t>> steals_from;
+  /// construction and never resized (atomics are immovable). Starts the
+  /// next line so the stat block above keeps its line exclusive.
+  alignas(cache_line_size) std::vector<std::atomic<std::uint64_t>> steals_from;
 #if CILKPP_STRESS_ENABLED
   /// Installed by scheduler::install_chaos; null when no chaos policy is
   /// active. Read on every scheduling boundary (one load+branch when idle).
-  std::atomic<chaos_policy*> chaos{nullptr};
+  /// Own line: the install store (another thread) must not invalidate any
+  /// line the owner writes on the hot path.
+  alignas(cache_line_size) std::atomic<chaos_policy*> chaos{nullptr};
 #endif
 #if CILKPP_TRACE_ENABLED
   /// Installed by trace::session via scheduler::install_trace; null when no

@@ -24,6 +24,7 @@
 #include "runtime/scheduler.hpp"
 #include "runtime/serial.hpp"
 #include "stress/program.hpp"
+#include "support/cache.hpp"
 
 namespace cilkpp::stress {
 
@@ -84,30 +85,50 @@ void stress_lock(Ctx& ctx, run_state& st, std::uint32_t idx);
 template <typename Ctx>
 void stress_unlock(Ctx& ctx, run_state& st, std::uint32_t idx);
 
+/// One 64-byte stripe of the strided-write pool: exactly one cache line,
+/// eight instrumented words. A clean stripe_write lane owns a whole stripe;
+/// the planted variant strides lanes across one stripe's words.
+struct alignas(cache_line_size) stress_stripe {
+  std::uint64_t w[8] = {};
+};
+
 /// Output state of one interpretation. Sized for a specific program; the
 /// reducers must outlive the scheduler::run() that updates them (their
 /// views live in frame slots until the root absorbs them).
+///
+/// Every instrumented pool element sits alone on its own cache line
+/// (padded<…>, stress_stripe), and the reducers are line-aligned members:
+/// the corpus is PADDED BY CONSTRUCTION. That is what entitles the oracle
+/// to require generated programs to be memlens-clean — sibling leaves
+/// writing adjacent unpadded u64s would be flagged as false sharing (the
+/// flag would be CORRECT, which is the point: the pools, like real
+/// per-strand output arrays, must not share lines).
 struct run_state {
   explicit run_state(const program& p)
-      : slots(p.num_slots, 0),
-        cells(p.num_cells, 0),
-        marks(p.num_throws, 0),
+      : slots(p.num_slots),
+        cells(p.num_cells),
+        marks(p.num_throws),
+        stripes(p.num_stripes),
         draws(p.num_slots + p.num_cells, 0),
         mutexes(p.num_locks) {}
 
-  std::vector<std::uint64_t> slots;  ///< one per work leaf
-  std::vector<std::uint64_t> cells;  ///< one per pfor iteration
-  std::vector<std::uint64_t> marks;  ///< one per throw_last (catch receipt)
+  std::vector<padded<std::uint64_t>> slots;  ///< one per work leaf
+  std::vector<padded<std::uint64_t>> cells;  ///< one per pfor iteration
+  std::vector<padded<std::uint64_t>> marks;  ///< one per throw_last
+  std::vector<stress_stripe> stripes;        ///< stripe_write pool
   /// One DPRNG draw per work leaf (indexed by slot) and pfor iteration
   /// (offset by num_slots); all-zero under engines without dprng_draw.
+  /// Never instrumented, so no padding needed.
   std::vector<std::uint64_t> draws;
   /// lock_block backing: real mutexes under the threaded runtime…
   std::vector<cilk::mutex> mutexes;
   /// …and detector lock ids under the screen engines (registered lazily
   /// per run, since ids belong to a specific detector instance).
   std::vector<screen::lock_id> screen_locks;
-  hyper::reducer_opadd<std::uint64_t> radd;
-  hyper::reducer_vector_append<std::uint32_t> rlist;
+  /// Line-aligned so the two reducers' value bytes never share a line with
+  /// each other or a neighboring member (memlens padding lints).
+  alignas(cache_line_size) hyper::reducer_opadd<std::uint64_t> radd;
+  alignas(cache_line_size) hyper::reducer_vector_append<std::uint32_t> rlist;
 };
 
 /// Lock a program mutex under whatever the engine provides: the detector's
@@ -192,7 +213,7 @@ void interp(Ctx& ctx, const program& p, const prog_node& n, run_state& st) {
 
     case op::work: {
       ctx.account(n.cost);
-      noted_store(ctx, st.slots[n.slot], contrib(p.seed, n.id));
+      noted_store(ctx, st.slots[n.slot].value, contrib(p.seed, n.id));
       if constexpr (has_dprng<Ctx>) st.draws[n.slot] = ctx.dprng_draw();
       if (n.radd) st.radd.view(ctx) += contrib(p.seed, n.id, 1);
       if (n.rlist) st.rlist.view(ctx).push_back(n.id);
@@ -205,7 +226,7 @@ void interp(Ctx& ctx, const program& p, const prog_node& n, run_state& st) {
           ctx, std::uint32_t{0}, n.iters,
           [&p, &st, np](Ctx& leaf, std::uint32_t i) {
             leaf.account(np->cost);
-            noted_store(leaf, st.cells[np->cell_base + i],
+            noted_store(leaf, st.cells[np->cell_base + i].value,
                         contrib(p.seed, np->id, i + 1));
             if constexpr (has_dprng<Ctx>) {
               st.draws[p.num_slots + np->cell_base + i] = leaf.dprng_draw();
@@ -251,7 +272,33 @@ void interp(Ctx& ctx, const program& p, const prog_node& n, run_state& st) {
       } catch (const stress_error& e) {
         if (e.node_id == n.children[last].id) mark = contrib(p.seed, n.id, 7);
       }
-      noted_store(ctx, st.marks[n.throw_index], mark);
+      noted_store(ctx, st.marks[n.throw_index].value, mark);
+      break;
+    }
+
+    case op::stripe_write: {
+      const prog_node* np = &n;
+      for (std::uint32_t lane = 0; lane < n.iters; ++lane) {
+        ctx.spawn([&p, &st, np, lane](Ctx& child) {
+          child.account(np->cost);
+          if (np->shared_line) {
+            // Planted variant: every lane writes its own word of ONE
+            // stripe — disjoint bytes of one cache line from parallel
+            // strands. No race, pure false sharing.
+            noted_store(child, st.stripes[np->stripe_base].w[lane % 8],
+                        contrib(p.seed, np->id, lane + 1));
+          } else {
+            // Clean variant: the lane owns stripe (stripe_base + lane)
+            // outright — sibling writers on disjoint lines.
+            stress_stripe& s = st.stripes[np->stripe_base + lane];
+            for (std::uint32_t k = 0; k < 8; ++k) {
+              noted_store(child, s.w[k],
+                          contrib(p.seed, np->id, lane * 8 + k + 1));
+            }
+          }
+        });
+      }
+      ctx.sync();
       break;
     }
   }
@@ -263,9 +310,12 @@ inline run_result finish(const program& p, run_state& st) {
   r.radd = st.radd.value();
   r.rlist = st.rlist.value();
   std::uint64_t h = p.seed;
-  for (std::uint64_t v : st.slots) h = hash_combine(h, v);
-  for (std::uint64_t v : st.cells) h = hash_combine(h, v);
-  for (std::uint64_t v : st.marks) h = hash_combine(h, v);
+  for (const padded<std::uint64_t>& v : st.slots) h = hash_combine(h, *v);
+  for (const padded<std::uint64_t>& v : st.cells) h = hash_combine(h, *v);
+  for (const padded<std::uint64_t>& v : st.marks) h = hash_combine(h, *v);
+  for (const stress_stripe& s : st.stripes) {
+    for (std::uint64_t w : s.w) h = hash_combine(h, w);
+  }
   h = hash_combine(h, r.radd);
   for (std::uint32_t v : r.rlist) h = hash_combine(h, v);
   r.checksum = h;

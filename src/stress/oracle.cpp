@@ -11,6 +11,8 @@
 #include "dag/analysis.hpp"
 #include "lint/analyzer.hpp"
 #include "lint/report.hpp"
+#include "memlens/analyzer.hpp"
+#include "memlens/report.hpp"
 #include "runtime/task_pool.hpp"
 #include "sim/machine.hpp"
 #include "stress/replay.hpp"
@@ -158,7 +160,7 @@ void stress_harness::run_case(const stress_case& c, fuzz_report& rep) {
              serial_r.rlist.size(), p.expected_rlist.size()));
   }
   for (std::size_t i = 0; i < serial_st.marks.size(); ++i) {
-    if (serial_st.marks[i] == 0) {
+    if (*serial_st.marks[i] == 0) {
       fail("serial-catch", fmt("throw_last mark %zu never caught", i));
     }
   }
@@ -254,6 +256,14 @@ void stress_harness::run_case(const stress_case& c, fuzz_report& rep) {
     screen::detector::lint_analyzer la;
     d.attach_lint(&la);
 #endif
+#if CILKPP_MEMLENS_ENABLED
+    // Memlens rides along too: the interpreter's pools are padded to one
+    // 64-byte line per element (see interp.hpp), so a generated program is
+    // false-sharing-clean BY CONSTRUCTION — any memlens record is a bug in
+    // the analyzer or in the pool layout, either way ours.
+    screen::detector::memlens_analyzer ml;
+    d.attach_memlens(&ml);
+#endif
     screen::run_under_detector(d, [&](screen::screen_context& ctx) {
       interp(ctx, p, p.root, scr_st);
     });
@@ -301,6 +311,15 @@ void stress_harness::run_case(const stress_case& c, fuzz_report& rep) {
                    d.stats().unmatched_releases)));
     }
 #endif
+#if CILKPP_MEMLENS_ENABLED
+    ml.finish();
+    if (!ml.clean()) {
+      fail("screen-memlens",
+           fmt("%zu memlens report(s) on a padded-by-construction program:\n%s",
+               ml.records().size(),
+               memlens::render_lenses(ml.records(), d.procedures()).c_str()));
+    }
+#endif
   }
 
   // --- Threaded runtime under chaos. ---
@@ -340,14 +359,14 @@ void stress_harness::run_case(const stress_case& c, fuzz_report& rep) {
     fail("runtime-differs", diff_results(serial_r, rt_r));
 #if CILKPP_PEDIGREE_ENABLED
     for (std::size_t i = 0; i < serial_st.slots.size(); ++i) {
-      if (rt_st.slots[i] != serial_st.slots[i]) {
+      if (*rt_st.slots[i] != *serial_st.slots[i]) {
         attach_pedigree(i);
         break;
       }
     }
     if (rep.failures.back().pedigree.empty()) {
       for (std::size_t i = 0; i < serial_st.cells.size(); ++i) {
-        if (rt_st.cells[i] != serial_st.cells[i]) {
+        if (*rt_st.cells[i] != *serial_st.cells[i]) {
           attach_pedigree(serial_st.slots.size() + i);
           break;
         }

@@ -81,6 +81,25 @@ prog_node make_pfor(gen_state& g, unsigned depth) {
   return n;
 }
 
+/// A strided-array write: `iters` spawned lanes, each owning one full
+/// 64-byte stripe of the pool — sibling writers on DISJOINT cache lines,
+/// so generated programs stay memlens-clean by construction (the mirror of
+/// make_lock_block's deadlock-free-by-construction pool discipline).
+prog_node make_stripe_write(gen_state& g, unsigned depth) {
+  prog_node n;
+  n.kind = op::stripe_write;
+  n.id = g.next_id++;
+  n.iters = 2 + static_cast<std::uint32_t>(g.rng.below(4));  // lanes
+  n.cost = 1 + g.rng.below(8);
+  n.stripe_base = g.p->num_stripes;
+  g.p->num_stripes += n.iters;  // one private stripe per lane
+  ++g.p->num_stripe_writes;
+  g.p->expected_work += std::uint64_t{n.iters} * n.cost;
+  note_width(g, n.iters);
+  note_depth(g, depth + 1);
+  return n;
+}
+
 prog_node gen_tree(gen_state& g, unsigned depth);
 
 void gen_children(gen_state& g, prog_node& n, unsigned count, unsigned depth) {
@@ -148,6 +167,8 @@ prog_node gen_tree(gen_state& g, unsigned depth) {
     gen_children(g, n, 1, depth + 1);
   } else if (pick < 84) {  // sync_extra
     n.kind = op::sync_extra;
+  } else if (pick < 96) {  // stripe_write (93–95; lock_block took 84–92)
+    return make_stripe_write(g, depth);
   } else {  // throw_last
     n.kind = op::throw_last;
     n.throw_index = g.p->num_throws++;
@@ -208,6 +229,11 @@ void describe_node(const prog_node& n, unsigned indent, std::string& out) {
                     ids.c_str());
       break;
     }
+    case op::stripe_write:
+      std::snprintf(buf, sizeof(buf), "stripe#%u lanes=%u stripes@%u%s\n",
+                    n.id, n.iters, n.stripe_base,
+                    n.shared_line ? " SHARED-LINE" : "");
+      break;
   }
   out += buf;
   for (const prog_node& c : n.children) describe_node(c, indent + 1, out);
@@ -238,11 +264,11 @@ std::string program::describe() const {
   char head[240];
   std::snprintf(head, sizeof(head),
                 "program seed=%llu size=%u: work=%u pfor=%u cells=%u "
-                "throws=%u spawn-blocks=%u lock-blocks=%u width=%u "
-                "depth=%u%s%s%s expected-work=%llu\n",
+                "throws=%u spawn-blocks=%u lock-blocks=%u stripes=%u "
+                "width=%u depth=%u%s%s%s expected-work=%llu\n",
                 static_cast<unsigned long long>(seed), size, num_work,
                 num_pfor, num_cells, num_throws, num_spawn_blocks,
-                num_lock_blocks, max_spawn_width, max_depth,
+                num_lock_blocks, num_stripes, max_spawn_width, max_depth,
                 uses_radd ? " +radd" : "", uses_rlist ? " +rlist" : "",
                 planted ? " PLANTED" : "",
                 static_cast<unsigned long long>(expected_work));
@@ -310,6 +336,28 @@ program make_planted_abba(bool gated) {
   p.max_spawn_width = 2;
   p.max_depth = 1;
   p.root.children.push_back(std::move(blk));
+  return p;
+}
+
+program make_planted_false_sharing() {
+  program p = planted_skeleton(0xFA15E0ULL);
+  // Four parallel lanes each write their own 8-byte word of stripe 0: byte
+  // sets disjoint (no race), strands parallel, all writers — false sharing
+  // on exactly one line. Lanes must stay ≤ 8, or two lanes would collide on
+  // one word and turn the plant into a determinacy race.
+  prog_node n;
+  n.kind = op::stripe_write;
+  n.id = 1;
+  n.iters = 4;
+  n.cost = 1;
+  n.stripe_base = 0;
+  n.shared_line = true;
+  p.num_stripes = 1;
+  ++p.num_stripe_writes;
+  p.expected_work += 4;
+  p.max_spawn_width = 4;
+  p.max_depth = 1;
+  p.root.children.push_back(std::move(n));
   return p;
 }
 

@@ -33,6 +33,11 @@ enum class op : std::uint8_t {
                 ///  its subtree; caught right after the block's sync
   lock_block,   ///< acquire `locks` in order, run children (work leaves)
                 ///  inside the critical section, release in reverse
+  stripe_write, ///< spawn `iters` lanes; each writes one 64-byte stripe of
+                ///  the stripe pool end to end (disjoint cache lines by
+                ///  construction — memlens-clean). The planted shared_line
+                ///  variant strides all lanes across ONE stripe instead:
+                ///  disjoint words of one line, textbook false sharing.
 };
 
 /// Generated lock_blocks draw from two DISJOINT pools so every generated
@@ -56,6 +61,11 @@ struct prog_node {
   std::uint32_t grain = 1;      ///< pfor grain (may exceed iters)
   std::uint32_t cell_base = 0;  ///< pfor: first private cell index
   std::uint32_t throw_index = 0;  ///< throw_last: private mark index
+  std::uint32_t stripe_base = 0;  ///< stripe_write: first stripe index
+  /// stripe_write: all lanes stride across ONE shared stripe (planted
+  /// false sharing; make_planted_false_sharing only — generated programs
+  /// never set it, the memlens-clean oracle depends on that).
+  bool shared_line = false;
   bool radd = false;   ///< leaf also adds into the opadd reducer
   bool rlist = false;  ///< work leaf also appends its id to the list reducer
   std::vector<std::uint32_t> locks;  ///< lock_block: ids in acquisition order
@@ -74,6 +84,8 @@ struct program {
   std::uint32_t num_pfor = 0;
   std::uint32_t num_spawn_blocks = 0;
   std::uint32_t num_lock_blocks = 0;
+  std::uint32_t num_stripes = 0;  ///< 64-byte stripes the pool must hold
+  std::uint32_t num_stripe_writes = 0;
   /// Mutexes the interpreter must provide (stress_lock_count when any
   /// lock_block exists, else 0).
   std::uint32_t num_locks = 0;
@@ -116,6 +128,11 @@ program generate_program(std::uint64_t seed, unsigned size_budget);
 program make_planted_abba(bool gated);
 /// One lock held across an explicit sync: exactly one lock_across_sync.
 program make_planted_held_across_sync();
+/// Four parallel sibling lanes each write their own 8-byte word of ONE
+/// 64-byte stripe: no race (disjoint bytes), but textbook false sharing —
+/// the memlens differential oracle must report it on BOTH SP engines with
+/// bit-identical address-free fingerprints.
+program make_planted_false_sharing();
 
 /// Deterministic 64-bit contribution of (program seed, node, lane): the
 /// value a leaf writes into its slot/cell/reducer. Pure function of its

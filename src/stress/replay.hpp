@@ -53,7 +53,7 @@ inline ped::pedigree pedigree_of_slot(const program& p, std::size_t slot) {
   ped::replay_context ctx;
   ped::pedigree out;
   ctx.set_write_observer([&](const ped::replay_context::write_event& e) {
-    if (e.address == &st.slots[slot]) out = e.ped;
+    if (e.address == &st.slots[slot].value) out = e.ped;
   });
   interp(ctx, p, p.root, st);
   return out;
@@ -65,7 +65,7 @@ inline ped::pedigree pedigree_of_cell(const program& p, std::size_t cell) {
   ped::replay_context ctx;
   ped::pedigree out;
   ctx.set_write_observer([&](const ped::replay_context::write_event& e) {
-    if (e.address == &st.cells[cell]) out = e.ped;
+    if (e.address == &st.cells[cell].value) out = e.ped;
   });
   interp(ctx, p, p.root, st);
   return out;

@@ -137,7 +137,9 @@ TEST(Interp, SerialMatchesGeneratorExpectations) {
     EXPECT_EQ(root.accounted_work(), p.expected_work) << seed;
     const run_result r = finish(p, st);
     EXPECT_EQ(r.rlist, p.expected_rlist) << seed;
-    for (std::uint64_t mark : st.marks) EXPECT_NE(mark, 0u) << seed;
+    for (const padded<std::uint64_t>& mark : st.marks) {
+      EXPECT_NE(*mark, 0u) << seed;
+    }
   }
 }
 
@@ -226,7 +228,7 @@ TEST(Replay, SeedPlusPedigreeReproducesTheTargetStrand) {
   interp(rctx, p, p.root, st);
   EXPECT_TRUE(rctx.reached());
   // The replayed strand recomputes exactly the value the full run produced.
-  EXPECT_EQ(st.slots[victim], ref.slots[victim]);
+  EXPECT_EQ(*st.slots[victim], *ref.slots[victim]);
   EXPECT_LE(rctx.executed_work(), sctx.accounted_work());
 }
 
