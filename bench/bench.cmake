@@ -16,6 +16,7 @@ cilkpp_add_bench(bench_fig3_qsort_profile cilkpp_workloads cilkpp_dag cilkpp_sim
 cilkpp_add_bench(bench_greedy_bound cilkpp_dag cilkpp_sim cilkpp_workloads)
 cilkpp_add_bench(bench_serial_overhead cilkpp_workloads cilkpp_runtime cilkpp_support benchmark::benchmark)
 cilkpp_add_bench(bench_spawn_path cilkpp_workloads cilkpp_runtime cilkpp_support)
+cilkpp_add_bench(bench_steal_locality cilkpp_workloads cilkpp_runtime cilkpp_support)
 cilkpp_add_bench(bench_stack_space cilkpp_dag cilkpp_sim)
 cilkpp_add_bench(bench_steal_frequency cilkpp_dag cilkpp_sim cilkpp_workloads)
 cilkpp_add_bench(bench_multiprogramming cilkpp_dag cilkpp_sim)

@@ -9,8 +9,15 @@
 //                      (fib with cutoff 0: pure spawn machinery), plus a
 //                      wide parallel_for leg at P = max(2, hw) that keeps
 //                      several workers hammering the join path at once
-//   * pool reuse rate  fraction of task allocations served from the
-//                      thread-local freelists (the intrusive task_pool)
+//   * pool reuse rate  fraction of task allocations served without a fresh
+//                      carve (task_pool freelists, or recycled slab blocks
+//                      when CILKPP_SLAB routes the pool through src/alloc)
+//   * slab flatness    re-running the contention leg against a warmed-up
+//                      slab layer must add ZERO system allocations — the
+//                      "never touches ::operator new at steady state" claim,
+//                      measured (plus magazine refill/return counters and
+//                      the wide leg's worker_stats: steal-distance mix,
+//                      backoff naps, allocator traffic)
 //
 // The thresholds at the bottom are deliberately loose — an order of
 // magnitude above today's numbers — so the job catches "the fast path grew
@@ -22,8 +29,10 @@
 #include <string>
 #include <thread>
 
+#include "alloc/slab.hpp"
 #include "runtime/parallel_for.hpp"
 #include "runtime/scheduler.hpp"
+#include "runtime/stats_json.hpp"
 #include "runtime/task_pool.hpp"
 #include "support/stats.hpp"
 #include "support/timing.hpp"
@@ -93,7 +102,8 @@ throughput measure_fib_throughput(unsigned workers, unsigned n) {
 
 /// Wide flat fan-out: a parallel_for spine with grain 1 keeps one frame
 /// spawning while helpers drain the deque — the join-contention leg.
-throughput measure_wide_pfor_throughput(unsigned workers, std::uint64_t n) {
+throughput measure_wide_pfor_throughput(unsigned workers, std::uint64_t n,
+                                        cilkpp::rt::worker_stats* stats_out) {
   scheduler sched(workers);
   std::atomic<std::uint64_t> sink{0};
   sched.reset_stats();
@@ -110,6 +120,7 @@ throughput measure_wide_pfor_throughput(unsigned workers, std::uint64_t n) {
   t.workload = "wide_pfor_grain1";
   t.elapsed_s = sw.elapsed_s();
   t.spawns = sched.stats().spawns;
+  if (stats_out != nullptr) *stats_out = sched.stats();
   cilkpp::do_not_optimize(sink.load());
   return t;
 }
@@ -139,8 +150,23 @@ int main(int argc, char** argv) {
   const throughput tp1 = measure_fib_throughput(1, 24);
   const throughput tp_hw =
       hw > 1 ? measure_fib_throughput(hw, 24) : tp1;
+  cilkpp::rt::worker_stats wide_stats;
   const throughput tp_wide =
-      measure_wide_pfor_throughput(hw > 2 ? hw : 2, 1u << 17);
+      measure_wide_pfor_throughput(hw > 2 ? hw : 2, 1u << 17, &wide_stats);
+
+  // Allocator leg: by now every size class has been through a full
+  // spawn-storm, so the slab layer is warmed up — magazines populated, slabs
+  // carved, depot stocked. Re-running the same contention workload (fresh
+  // scheduler, fresh worker threads, so this also exercises the depot's
+  // magazine-recycling across thread lifetimes) must be FLAT in system
+  // allocations: every block comes from a recycled magazine.
+  const auto slab_before = cilkpp::alloc::slab_totals();
+  const throughput tp_steady =
+      measure_wide_pfor_throughput(hw > 2 ? hw : 2, 1u << 17, nullptr);
+  const auto slab_after = cilkpp::alloc::slab_totals();
+  const std::uint64_t slab_steady_delta =
+      slab_after.system_allocs - slab_before.system_allocs;
+  cilkpp::do_not_optimize(tp_steady.spawns);
 
   const auto pool_after = cilkpp::rt::task_pool_totals();
   const std::uint64_t allocs =
@@ -158,6 +184,11 @@ int main(int argc, char** argv) {
   constexpr double pair_ns_max = 2000.0;
   constexpr double reuse_rate_min = 0.5;
   constexpr double spawns_per_sec_min = 1e5;
+  // Steady-state flatness: a warmed-up slab layer must not touch the system
+  // allocator again. A handful of stragglers are tolerated (a worker thread
+  // whose first magazine pop races the depot restock), a linear-in-spawns
+  // count is the regression this catches.
+  constexpr std::uint64_t slab_steady_delta_max = 16;
   bool ok = true;
   if (pair_ns > pair_ns_max) {
     std::fprintf(stderr, "FAIL: pair_ns %.1f > %.1f\n", pair_ns, pair_ns_max);
@@ -176,6 +207,16 @@ int main(int argc, char** argv) {
       ok = false;
     }
   }
+#if CILKPP_SLAB_ENABLED
+  if (slab_steady_delta > slab_steady_delta_max) {
+    std::fprintf(stderr,
+                 "FAIL: slab system allocs not flat at steady state: "
+                 "+%llu (max %llu)\n",
+                 static_cast<unsigned long long>(slab_steady_delta),
+                 static_cast<unsigned long long>(slab_steady_delta_max));
+    ok = false;
+  }
+#endif
 
   cilkpp::json_writer w;
   w.begin_object();
@@ -194,12 +235,29 @@ int main(int argc, char** argv) {
   w.field("frees", frees);
   w.field("reused", reused);
   w.field("reuse_rate", reuse_rate);
+  w.field("oversize_allocs",
+          pool_after.oversize_allocs() - pool_before.oversize_allocs());
+  w.field("oversize_frees",
+          pool_after.oversize_frees() - pool_before.oversize_frees());
   w.end_object();
+  w.key("slab");
+  w.begin_object();
+  w.field("enabled", CILKPP_SLAB_ENABLED != 0);
+  w.field("system_allocs", slab_after.system_allocs);
+  w.field("slabs_live", slab_after.slabs_live);
+  w.field("magazines_live", slab_after.magazines_live);
+  w.field("magazine_refills", slab_after.magazine_refills);
+  w.field("magazine_returns", slab_after.magazine_returns);
+  w.field("steady_state_system_allocs_delta", slab_steady_delta);
+  w.end_object();
+  w.key("wide_pfor_worker_stats");
+  cilkpp::rt::write_worker_stats(w, wide_stats);
   w.key("thresholds");
   w.begin_object();
   w.field("pair_ns_max", pair_ns_max);
   w.field("reuse_rate_min", reuse_rate_min);
   w.field("spawns_per_sec_min", spawns_per_sec_min);
+  w.field("slab_steady_delta_max", slab_steady_delta_max);
   w.field("passed", ok);
   w.end_object();
   w.end_object();

@@ -142,22 +142,41 @@ void run_under_detector(Detector& d, Fn&& fn) {
 template <typename D, typename Index, typename Body>
 void screen_for_impl(basic_screen_context<D>& ctx, Index lo, Index hi,
                      const Body& body, std::uint64_t grain) {
-  while (static_cast<std::uint64_t>(hi - lo) > grain) {
-    Index mid = lo + (hi - lo) / 2;
-    ctx.spawn([lo, mid, &body, grain](basic_screen_context<D>& child) {
-      screen_for_impl(child, lo, mid, body, grain);
-    });
-    lo = mid;
-  }
-  for (Index i = lo; i < hi; ++i) {
-    if constexpr (std::is_invocable_v<const Body&, basic_screen_context<D>&,
-                                      Index>) {
-      body(ctx, i);
-    } else {
-      body(i);
+  if constexpr (std::is_invocable_v<const Body&, basic_screen_context<D>&,
+                                    Index>) {
+    while (static_cast<std::uint64_t>(hi - lo) > grain) {
+      Index mid = lo + (hi - lo) / 2;
+      ctx.spawn([lo, mid, &body, grain](basic_screen_context<D>& child) {
+        screen_for_impl(child, lo, mid, body, grain);
+      });
+      lo = mid;
     }
+    for (Index i = lo; i < hi; ++i) body(ctx, i);
+    ctx.sync();
+  } else {
+    // Mirror of the runtime's body(i) burst lowering (parallel_for.hpp):
+    // halve down to 32 grains, then one spawned leaf per grain with the
+    // last grain inline, so the SP relationships the detector certifies
+    // are exactly the parallel execution's.
+    const std::uint64_t burst =
+        grain > ~std::uint64_t{0} / 32 ? ~std::uint64_t{0} : 32 * grain;
+    while (static_cast<std::uint64_t>(hi - lo) > burst) {
+      Index mid = lo + (hi - lo) / 2;
+      ctx.spawn([lo, mid, &body, grain](basic_screen_context<D>& child) {
+        screen_for_impl(child, lo, mid, body, grain);
+      });
+      lo = mid;
+    }
+    while (static_cast<std::uint64_t>(hi - lo) > grain) {
+      Index mid = lo + static_cast<decltype(hi - lo)>(grain);
+      ctx.spawn([lo, mid, &body](basic_screen_context<D>&) {
+        for (Index i = lo; i < mid; ++i) body(i);
+      });
+      lo = mid;
+    }
+    for (Index i = lo; i < hi; ++i) body(i);
+    ctx.sync();
   }
-  ctx.sync();
 }
 
 template <typename D, typename Index, typename Body>

@@ -202,22 +202,41 @@ inline void online_context::account(std::uint64_t units) {
 template <typename Index, typename Body>
 void online_for_impl(online_context& ctx, Index lo, Index hi, const Body& body,
                      std::uint64_t grain) {
-  while (static_cast<std::uint64_t>(hi - lo) > grain) {
-    Index mid = lo + (hi - lo) / 2;
-    ctx.spawn([lo, mid, &body, grain](online_context& child) {
-      online_for_impl(child, lo, mid, body, grain);
-    });
-    ctx.account(1);
-    lo = mid;
-  }
-  for (Index i = lo; i < hi; ++i) {
-    if constexpr (std::is_invocable_v<const Body&, online_context&, Index>) {
-      body(ctx, i);
-    } else {
-      body(i);
+  if constexpr (std::is_invocable_v<const Body&, online_context&, Index>) {
+    while (static_cast<std::uint64_t>(hi - lo) > grain) {
+      Index mid = lo + (hi - lo) / 2;
+      ctx.spawn([lo, mid, &body, grain](online_context& child) {
+        online_for_impl(child, lo, mid, body, grain);
+      });
+      ctx.account(1);
+      lo = mid;
     }
+    for (Index i = lo; i < hi; ++i) body(ctx, i);
+    ctx.sync();
+  } else {
+    // Mirror of the runtime's body(i) burst lowering (parallel_for.hpp),
+    // so work/span measurements agree with the executed dag's shape.
+    const std::uint64_t burst =
+        grain > ~std::uint64_t{0} / 32 ? ~std::uint64_t{0} : 32 * grain;
+    while (static_cast<std::uint64_t>(hi - lo) > burst) {
+      Index mid = lo + (hi - lo) / 2;
+      ctx.spawn([lo, mid, &body, grain](online_context& child) {
+        online_for_impl(child, lo, mid, body, grain);
+      });
+      ctx.account(1);
+      lo = mid;
+    }
+    while (static_cast<std::uint64_t>(hi - lo) > grain) {
+      Index mid = lo + static_cast<decltype(hi - lo)>(grain);
+      ctx.spawn([lo, mid, &body](online_context&) {
+        for (Index i = lo; i < mid; ++i) body(i);
+      });
+      ctx.account(1);
+      lo = mid;
+    }
+    for (Index i = lo; i < hi; ++i) body(i);
+    ctx.sync();
   }
-  ctx.sync();
 }
 
 template <typename Index, typename Body>

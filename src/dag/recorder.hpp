@@ -70,22 +70,42 @@ class recorder_context {
 template <typename Index, typename Body>
 void record_for_impl(recorder_context& ctx, Index lo, Index hi,
                      const Body& body, std::uint64_t grain) {
-  while (static_cast<std::uint64_t>(hi - lo) > grain) {
-    Index mid = lo + (hi - lo) / 2;
-    ctx.spawn([lo, mid, &body, grain](recorder_context& child) {
-      record_for_impl(child, lo, mid, body, grain);
-    });
-    ctx.account(1);  // split bookkeeping on the continuation strand
-    lo = mid;
-  }
-  for (Index i = lo; i < hi; ++i) {
-    if constexpr (std::is_invocable_v<const Body&, recorder_context&, Index>) {
-      body(ctx, i);
-    } else {
-      body(i);
+  if constexpr (std::is_invocable_v<const Body&, recorder_context&, Index>) {
+    while (static_cast<std::uint64_t>(hi - lo) > grain) {
+      Index mid = lo + (hi - lo) / 2;
+      ctx.spawn([lo, mid, &body, grain](recorder_context& child) {
+        record_for_impl(child, lo, mid, body, grain);
+      });
+      ctx.account(1);  // split bookkeeping on the continuation strand
+      lo = mid;
     }
+    for (Index i = lo; i < hi; ++i) body(ctx, i);
+    ctx.sync();
+  } else {
+    // Mirror of the runtime's body(i) burst lowering (parallel_for.hpp),
+    // so the recorded dag keeps cilk_for's shape: halve down to 32 grains,
+    // then one spawned leaf per grain with the last grain inline.
+    const std::uint64_t burst =
+        grain > ~std::uint64_t{0} / 32 ? ~std::uint64_t{0} : 32 * grain;
+    while (static_cast<std::uint64_t>(hi - lo) > burst) {
+      Index mid = lo + (hi - lo) / 2;
+      ctx.spawn([lo, mid, &body, grain](recorder_context& child) {
+        record_for_impl(child, lo, mid, body, grain);
+      });
+      ctx.account(1);  // split bookkeeping on the continuation strand
+      lo = mid;
+    }
+    while (static_cast<std::uint64_t>(hi - lo) > grain) {
+      Index mid = lo + static_cast<decltype(hi - lo)>(grain);
+      ctx.spawn([lo, mid, &body](recorder_context&) {
+        for (Index i = lo; i < mid; ++i) body(i);
+      });
+      ctx.account(1);  // split bookkeeping on the continuation strand
+      lo = mid;
+    }
+    for (Index i = lo; i < hi; ++i) body(i);
+    ctx.sync();
   }
-  ctx.sync();
 }
 
 /// parallel_for lowering for the recorder: the same binary splitting the

@@ -205,21 +205,39 @@ class replay_context {
 template <typename Index, typename Body>
 void replay_for_impl(replay_context& ctx, Index lo, Index hi, const Body& body,
                      std::uint64_t grain) {
-  while (static_cast<std::uint64_t>(hi - lo) > grain) {
-    Index mid = lo + (hi - lo) / 2;
-    ctx.spawn([lo, mid, &body, grain](replay_context& child) {
-      replay_for_impl(child, lo, mid, body, grain);
-    });
-    lo = mid;
-  }
-  for (Index i = lo; i < hi; ++i) {
-    if constexpr (std::is_invocable_v<const Body&, replay_context&, Index>) {
-      body(ctx, i);
-    } else {
-      body(i);
+  if constexpr (std::is_invocable_v<const Body&, replay_context&, Index>) {
+    while (static_cast<std::uint64_t>(hi - lo) > grain) {
+      Index mid = lo + (hi - lo) / 2;
+      ctx.spawn([lo, mid, &body, grain](replay_context& child) {
+        replay_for_impl(child, lo, mid, body, grain);
+      });
+      lo = mid;
     }
+    for (Index i = lo; i < hi; ++i) body(ctx, i);
+    ctx.sync();
+  } else {
+    // Mirror of the runtime's body(i) burst lowering (parallel_for.hpp):
+    // each leaf spawn consumes one rank, exactly as spawn_leaf does, so
+    // replay keys line up with the runtime's recorded pedigrees.
+    const std::uint64_t burst =
+        grain > ~std::uint64_t{0} / 32 ? ~std::uint64_t{0} : 32 * grain;
+    while (static_cast<std::uint64_t>(hi - lo) > burst) {
+      Index mid = lo + (hi - lo) / 2;
+      ctx.spawn([lo, mid, &body, grain](replay_context& child) {
+        replay_for_impl(child, lo, mid, body, grain);
+      });
+      lo = mid;
+    }
+    while (static_cast<std::uint64_t>(hi - lo) > grain) {
+      Index mid = lo + static_cast<decltype(hi - lo)>(grain);
+      ctx.spawn([lo, mid, &body](replay_context&) {
+        for (Index i = lo; i < mid; ++i) body(i);
+      });
+      lo = mid;
+    }
+    for (Index i = lo; i < hi; ++i) body(i);
+    ctx.sync();
   }
-  ctx.sync();
 }
 
 template <typename Index, typename Body>

@@ -319,6 +319,14 @@ void worker_stats::merge(const worker_stats& o) {
   max_frame_depth = std::max(max_frame_depth, o.max_frame_depth);
   peak_deque = std::max(peak_deque, o.peak_deque);
   peak_live_frames = std::max(peak_live_frames, o.peak_live_frames);
+  backoff_naps += o.backoff_naps;
+  magazine_refills += o.magazine_refills;
+  magazine_returns += o.magazine_returns;
+  slabs_created += o.slabs_created;
+  oversize_allocs += o.oversize_allocs;
+  for (std::size_t b = 0; b < steal_distance_buckets; ++b) {
+    steal_distance[b] += o.steal_distance[b];
+  }
   if (steals_by_victim.size() < o.steals_by_victim.size()) {
     steals_by_victim.resize(o.steals_by_victim.size(), 0);
   }

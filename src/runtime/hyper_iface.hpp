@@ -10,6 +10,7 @@
 #include <memory>
 #include <utility>
 
+#include "alloc/slab.hpp"
 #include "support/assert.hpp"
 #include "support/small_vector.hpp"
 
@@ -19,6 +20,21 @@ namespace cilkpp::rt {
 /// the hyperobject library; the runtime only stores and routes them.
 struct view_base {
   virtual ~view_base() = default;
+
+#if CILKPP_SLAB_ENABLED
+  // Every concrete view allocates through the slab magazines: views are
+  // created on the steal path (identity_view) and destroyed on the fold
+  // path, often by a different worker — exactly the migrating small-block
+  // traffic the magazines absorb. Sized delete is enough: the delete
+  // expression goes through the virtual destructor, which supplies the
+  // most-derived size.
+  static void* operator new(std::size_t size) {
+    return alloc::slab_allocate(size);
+  }
+  static void operator delete(void* p, std::size_t size) noexcept {
+    alloc::slab_deallocate(p, size);
+  }
+#endif
 };
 
 /// One hyperobject (e.g. one declared reducer). Identity of the object is

@@ -20,26 +20,55 @@ inline std::uint64_t default_grain(std::uint64_t iterations, unsigned workers) {
   return grain == 0 ? 1 : grain;
 }
 
+/// Grains per burst frame for the body(i) lowering: once a subrange is down
+/// to this many grains, the hosting frame stops halving and fans its grains
+/// out directly as leaf strands. Internal frames drop from ~n/(2·grain) to
+/// ~n/(burst·grain) while the leaf count — and the spawn count the dag
+/// shape fixes at (#grains − 1) — is unchanged.
+inline constexpr std::uint64_t pfor_burst_grains = 32;
+
 template <typename Index, typename Body>
 void parallel_for_impl(context& ctx, Index lo, Index hi, const Body& body,
                        std::uint64_t grain) {
-  // Spawn left halves; keep the right half in this frame (lazy splitting —
-  // one frame hosts the whole spine, the dag is the same binary recursion).
-  while (static_cast<std::uint64_t>(hi - lo) > grain) {
-    Index mid = lo + (hi - lo) / 2;
-    ctx.spawn([lo, mid, &body, grain](context& child) {
-      parallel_for_impl(child, lo, mid, body, grain);
-    });
-    lo = mid;
-  }
-  for (Index i = lo; i < hi; ++i) {
-    if constexpr (std::is_invocable_v<const Body&, context&, Index>) {
-      body(ctx, i);  // leaf-frame context: required for reducer access
-    } else {
-      body(i);
+  if constexpr (std::is_invocable_v<const Body&, context&, Index>) {
+    // Spawn left halves; keep the right half in this frame (lazy splitting
+    // — one frame hosts the whole spine, the dag is the binary recursion).
+    while (static_cast<std::uint64_t>(hi - lo) > grain) {
+      Index mid = lo + (hi - lo) / 2;
+      ctx.spawn([lo, mid, &body, grain](context& child) {
+        parallel_for_impl(child, lo, mid, body, grain);
+      });
+      lo = mid;
     }
+    for (Index i = lo; i < hi; ++i) {
+      body(ctx, i);  // leaf-frame context: required for reducer access
+    }
+    ctx.sync();
+  } else {
+    // body(i) leaves cannot spawn or touch reducers, so the bottom of the
+    // recursion needs no frames at all: halve while more than
+    // pfor_burst_grains grains remain, then burst the remaining grains out
+    // as leaf strands (context::spawn_leaf) and run the last one inline on
+    // this frame's strand.
+    const std::uint64_t burst =
+        grain > ~std::uint64_t{0} / pfor_burst_grains
+            ? ~std::uint64_t{0}
+            : pfor_burst_grains * grain;
+    while (static_cast<std::uint64_t>(hi - lo) > burst) {
+      Index mid = lo + (hi - lo) / 2;
+      ctx.spawn([lo, mid, &body, grain](context& child) {
+        parallel_for_impl(child, lo, mid, body, grain);
+      });
+      lo = mid;
+    }
+    while (static_cast<std::uint64_t>(hi - lo) > grain) {
+      Index mid = lo + static_cast<decltype(hi - lo)>(grain);
+      ctx.spawn_leaf(lo, mid, body);
+      lo = mid;
+    }
+    for (Index i = lo; i < hi; ++i) body(i);
+    ctx.sync();
   }
-  ctx.sync();
 }
 
 /// Runs the body for every i in [begin, end), iterations logically in

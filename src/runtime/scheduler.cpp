@@ -1,4 +1,7 @@
+#include <algorithm>
+#include <bit>
 #include <chrono>
+#include <numeric>
 
 #include "runtime/scheduler.hpp"
 
@@ -59,6 +62,7 @@ scheduler::scheduler(scheduler_options options) : options_(std::move(options)) {
   // Each pool thread pins itself before entering worker_main so every task
   // it ever executes runs inside this instance's CPU partition; worker 0's
   // pinning is the dedicated caller's job (pin_caller).
+  build_probe_orders();
   threads_.reserve(count - 1);
   for (unsigned i = 1; i < count; ++i) {
     threads_.emplace_back([this, i] {
@@ -69,6 +73,51 @@ scheduler::scheduler(scheduler_options options) : options_(std::move(options)) {
       }
       worker_main(i);
     });
+  }
+}
+
+void scheduler::build_probe_orders() {
+  // Distance metric: with an affinity mask, |cpu_i - cpu_j| — adjacent CPU
+  // ids are SMT siblings or same-package neighbors on every layout Linux
+  // enumerates, so "close id" is a serviceable proxy for "shared cache"
+  // without parsing sysfs topology. Without a mask nothing is known about
+  // placement, so fall back to ring distance on worker ids, which at least
+  // makes distinct workers prefer distinct first victims (id+1, id+2, …)
+  // instead of all hammering the same deque.
+  const std::size_t n = workers_.size();
+  const std::vector<unsigned>& mask = options_.affinity;
+  auto cpu_of = [&](std::size_t i) {
+    return static_cast<std::uint64_t>(mask[i % mask.size()]);
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    worker& w = *workers_[i];
+    w.victim_bucket.assign(n, 0);
+    std::vector<std::uint64_t> dist(n, 0);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      std::uint64_t d;
+      if (!mask.empty()) {
+        const std::uint64_t a = cpu_of(i), b = cpu_of(j);
+        d = a > b ? a - b : b - a;
+      } else {
+        const std::uint64_t raw = i > j ? i - j : j - i;
+        d = std::min<std::uint64_t>(raw, n - raw);
+      }
+      dist[j] = d;
+      // Bucket 0 = distance 0 (same CPU); bucket k covers [2^(k-1), 2^k).
+      w.victim_bucket[j] = static_cast<std::uint8_t>(
+          std::min<std::size_t>(steal_distance_buckets - 1,
+                                static_cast<std::size_t>(std::bit_width(d))));
+    }
+    w.probe_order.resize(n - 1);
+    std::size_t out = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j != i) w.probe_order[out++] = static_cast<std::uint32_t>(j);
+    }
+    std::stable_sort(w.probe_order.begin(), w.probe_order.end(),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                       return dist[a] < dist[b];
+                     });
   }
 }
 
@@ -94,11 +143,33 @@ bool scheduler::any_work() const {
 void scheduler::worker_main(unsigned id) {
   worker& w = *workers_[id];
   set_current_worker(&w);
+  w.attach_alloc_counters();
+  unsigned fails = 0;
   while (!shutdown_.load(std::memory_order_acquire)) {
     // With no run in flight there is nothing to steal: don't spin probing
     // (it would burn CPU and pollute the steal-attempt statistics).
     const bool active = run_active_.load(std::memory_order_acquire);
-    if (active && help_one(w)) continue;
+    if (active && help_one(w)) {
+      fails = 0;
+      continue;
+    }
+
+    // Exponential global backoff before the full park: a thief that keeps
+    // coming up empty sleeps 1, 2, 4, … 64 µs (unregistered — idlers_
+    // stays 0, so victims' pushes skip the fence-guarded mutex/notify and
+    // the spawn path stays cheap), re-probing between naps. Crucial when
+    // workers outnumber CPUs: the nap yields the core to whoever has work
+    // instead of burning it on failed steal sweeps. Only after eight dry
+    // sweeps does the worker fall through to the parking protocol, whose
+    // wakeup is exact.
+    if (active && fails < 8) {
+      bump_counter(w.backoff_naps);
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(1u << std::min(fails, 6u)));
+      ++fails;
+      continue;
+    }
+    fails = 0;
 
     // Nothing anywhere: park under the register→recheck→wait protocol.
     // Ordering argument (the fix for the lost-wakeup window): we register
@@ -161,28 +232,38 @@ bool scheduler::help_one(worker& w) {
 bool scheduler::steal_and_execute(worker& w) {
   const std::size_t n = workers_.size();
   if (n < 2) return false;
-  // A few randomized attempts; "lost" races retry, "empty" moves on.
+  // Two sweeps. Sweep 1 walks the near-first probe order once: a task
+  // stolen from a cache-sharing neighbor brings its frame's lines along for
+  // almost free, so closeness is tried before fairness. Sweep 2 falls back
+  // to uniformly random victims — the randomness the work-stealing bounds
+  // assume — so a far victim with deep work is still found and no pair of
+  // workers can livelock on each other's empty deques.
   const std::size_t rounds = 2 * n;
   for (std::size_t i = 0; i < rounds; ++i) {
     chaos_perturb(&w, chaos_point::steal_attempt);
     std::size_t victim = n;
 #if CILKPP_STRESS_ENABLED
     // Chaos may skew victim selection (always-victim-0, round-robin, …);
-    // out-of-range or self answers keep the default uniform draw.
+    // out-of-range or self answers keep the default choice.
     if (chaos_policy* c = w.chaos.load(std::memory_order_acquire)) {
       const std::size_t v = c->pick_victim(w.id, n);
       if (v < n && v != w.id) victim = v;
     }
 #endif
     if (victim == n) {
-      victim = w.rng.below(n - 1);
-      if (victim >= w.id) ++victim;  // uniform over workers != w
+      if (i < w.probe_order.size()) {
+        victim = w.probe_order[i];  // near-first sweep
+      } else {
+        victim = w.rng.below(n - 1);
+        if (victim >= w.id) ++victim;  // uniform over workers != w
+      }
     }
     bump_counter(w.steal_attempts);  // thief-side counters: single writer
     task* stolen = nullptr;
     if (workers_[victim]->deque.steal(stolen) == steal_result::success) {
       bump_counter(w.steals);
       bump_counter(w.steals_from[victim]);
+      bump_counter(w.steal_dist_hist[w.victim_bucket[victim]]);
       // Thief→victim provenance: the stolen child frame, its parent, and
       // who it was taken from. parent_frame is alive (it has a pending
       // child) and its pedigree hash is immutable after construction.

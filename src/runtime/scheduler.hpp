@@ -41,6 +41,7 @@
 #include <utility>
 #include <vector>
 
+#include "alloc/slab.hpp"
 #include "deque/chase_lev.hpp"
 #include "pedigree/pedigree.hpp"
 #include "runtime/task_pool.hpp"
@@ -136,6 +137,11 @@ inline void destroy_task(task* t) noexcept {
   task_deallocate(t, size);
 }
 
+/// Steal-distance histogram buckets: log2-spaced worker distances. Bucket 0
+/// is distance 0 (two workers pinned to the same CPU), bucket k ≥ 1 covers
+/// distances [2^(k-1), 2^k), and the last bucket absorbs everything beyond.
+inline constexpr std::size_t steal_distance_buckets = 8;
+
 /// Per-worker statistics snapshot (paper Sec. 3.2: steals measure all
 /// communication).
 struct worker_stats {
@@ -152,6 +158,23 @@ struct worker_stats {
   /// Peak number of frames (contexts) simultaneously live on this worker —
   /// its call depth including nested helping during syncs.
   std::uint64_t peak_live_frames = 0;
+  /// Exponential-backoff naps taken between failed steal sweeps and the
+  /// full park (see worker_main): high values mean thieves found the
+  /// system drained repeatedly — starvation, not contention.
+  std::uint64_t backoff_naps = 0;
+  // --- Allocator activity attributed to this worker's thread: deltas of
+  // the slab allocator's per-thread counters since the last reset_stats()
+  // (src/alloc; all zero when the thread never allocated, and effectively
+  // zero when -DCILKPP_SLAB=OFF routes consumers elsewhere).
+  std::uint64_t magazine_refills = 0;  ///< full magazines pulled from depot
+  std::uint64_t magazine_returns = 0;  ///< full magazines pushed to depot
+  std::uint64_t slabs_created = 0;     ///< 64 KiB slab carves on this thread
+  std::uint64_t oversize_allocs = 0;   ///< requests past the largest class
+  /// steal_distance[b]: successful steals whose victim sat at a distance in
+  /// log2 bucket b from this worker (CPU-id distance when affinity masks
+  /// are set, ring id-distance otherwise). Σ_b == steals. A locality-aware
+  /// probe order shows up as mass in the low buckets.
+  std::uint64_t steal_distance[steal_distance_buckets] = {};
   /// Steal provenance: steals_by_victim[v] = tasks this worker stole from
   /// worker v (Σ_v == steals). Empty only for a default-constructed value.
   std::vector<std::uint64_t> steals_by_victim;
@@ -176,6 +199,24 @@ struct worker {
     s.max_frame_depth = max_frame_depth.load(std::memory_order_relaxed);
     s.peak_deque = peak_deque.load(std::memory_order_relaxed);
     s.peak_live_frames = peak_live_frames.load(std::memory_order_relaxed);
+    s.backoff_naps = backoff_naps.load(std::memory_order_relaxed);
+    for (std::size_t b = 0; b < steal_distance_buckets; ++b) {
+      s.steal_distance[b] = steal_dist_hist[b].load(std::memory_order_relaxed);
+    }
+    // Allocator attribution: delta of the owning thread's slab counters
+    // against the baseline captured at the last reset. The counter block
+    // is immortal, so this read is safe even after the thread exited.
+    if (const auto* c = alloc_counters.load(std::memory_order_acquire)) {
+      s.magazine_refills =
+          c->magazine_refills.load(std::memory_order_relaxed) - base_refills;
+      s.magazine_returns =
+          c->magazine_returns.load(std::memory_order_relaxed) - base_returns;
+      s.slabs_created =
+          c->slabs_created.load(std::memory_order_relaxed) - base_slabs;
+      s.oversize_allocs =
+          c->allocs[alloc::oversize_row].load(std::memory_order_relaxed) -
+          base_oversize;
+    }
     s.steals_by_victim.reserve(steals_from.size());
     for (const auto& c : steals_from) {
       s.steals_by_victim.push_back(c.load(std::memory_order_relaxed));
@@ -191,7 +232,31 @@ struct worker {
     max_frame_depth.store(0, std::memory_order_relaxed);
     peak_deque.store(0, std::memory_order_relaxed);
     peak_live_frames.store(0, std::memory_order_relaxed);
+    backoff_naps.store(0, std::memory_order_relaxed);
+    for (auto& b : steal_dist_hist) b.store(0, std::memory_order_relaxed);
+    // Slab counters are monotone and shared with every scheduler whose
+    // worker runs on the same thread, so "reset" means re-basing deltas.
+    if (const auto* c = alloc_counters.load(std::memory_order_acquire)) {
+      base_refills = c->magazine_refills.load(std::memory_order_relaxed);
+      base_returns = c->magazine_returns.load(std::memory_order_relaxed);
+      base_slabs = c->slabs_created.load(std::memory_order_relaxed);
+      base_oversize = c->allocs[alloc::oversize_row].load(std::memory_order_relaxed);
+    }
     for (auto& c : steals_from) c.store(0, std::memory_order_relaxed);
+  }
+
+  /// Publishes the owning thread's slab counter block (called from
+  /// worker_main for pool workers, from run() for worker 0) and captures
+  /// the baselines so the first snapshot doesn't charge this scheduler
+  /// for allocator activity that predates it on the same thread.
+  void attach_alloc_counters() {
+    if (alloc_counters.load(std::memory_order_relaxed) != nullptr) return;
+    const alloc::slab_thread_counters* c = alloc::slab_local_counters();
+    base_refills = c->magazine_refills.load(std::memory_order_relaxed);
+    base_returns = c->magazine_returns.load(std::memory_order_relaxed);
+    base_slabs = c->slabs_created.load(std::memory_order_relaxed);
+    base_oversize = c->allocs[alloc::oversize_row].load(std::memory_order_relaxed);
+    alloc_counters.store(c, std::memory_order_release);
   }
 
   unsigned id;
@@ -218,6 +283,23 @@ struct worker {
   /// construction and never resized (atomics are immovable). Starts the
   /// next line so the stat block above keeps its line exclusive.
   alignas(cache_line_size) std::vector<std::atomic<std::uint64_t>> steals_from;
+  // --- Thief-side state: written only while this worker has no work of
+  // its own, so none of it contends with the spawn path.
+  /// Victim ids in near-first order (closest CPU / ring distance first);
+  /// built once at scheduler construction, immutable afterwards.
+  std::vector<std::uint32_t> probe_order;
+  /// victim_bucket[v]: log2 distance bucket of victim v from this worker.
+  std::vector<std::uint8_t> victim_bucket;
+  std::atomic<std::uint64_t> backoff_naps{0};
+  std::atomic<std::uint64_t> steal_dist_hist[steal_distance_buckets] = {};
+  /// The owning thread's slab counter block (immortal; see src/alloc) and
+  /// the baselines snapshots subtract. Null until the thread first enters
+  /// worker_main / run().
+  std::atomic<const alloc::slab_thread_counters*> alloc_counters{nullptr};
+  std::uint64_t base_refills = 0;
+  std::uint64_t base_returns = 0;
+  std::uint64_t base_slabs = 0;
+  std::uint64_t base_oversize = 0;
 #if CILKPP_STRESS_ENABLED
   /// Installed by scheduler::install_chaos; null when no chaos policy is
   /// active. Read on every scheduling boundary (one load+branch when idle).
@@ -283,6 +365,18 @@ class context {
   template <typename Fn>
   void spawn(Fn&& fn);
 
+  /// Lowering hook for parallel_for's body(i) form: spawns a child strand
+  /// that runs `body(i)` for i in [begin, end) WITHOUT constructing a full
+  /// context — a body(i) leaf cannot spawn, sync, or touch reducers, so the
+  /// frame's arena, view cache, and rank machinery would be dead weight on
+  /// the hottest path the runtime has. The leaf still replicates every
+  /// observable effect of a spawned frame: trace events (frame/sync
+  /// brackets), the live-frame census, depth accounting, pedigree chaining,
+  /// and exception delivery at the parent's sync. Not part of the public
+  /// model; user code spawns real frames.
+  template <typename Index, typename Body>
+  void spawn_leaf(Index begin, Index end, Body&& body);
+
   /// cilk_sync: wait for every child this function instance spawned.
   /// Rethrows the (serially earliest) child exception, if any.
   void sync();
@@ -338,6 +432,8 @@ class context {
   friend class scheduler;
   template <typename>
   friend struct spawn_task;
+  template <typename, typename>
+  friend struct leaf_task;
 
   enum class kind : std::uint8_t { root, spawned, called };
 
@@ -527,8 +623,13 @@ class scheduler {
   friend class context;
   template <typename>
   friend struct spawn_task;
+  template <typename, typename>
+  friend struct leaf_task;
 
   void worker_main(unsigned id);
+  /// Fills every worker's near-first probe order and distance buckets from
+  /// the affinity masks (CPU distance) or worker ids (ring distance).
+  void build_probe_orders();
   /// Pops own bottom or steals once; executes what it finds.
   /// Returns false if no work was found anywhere.
   bool help_one(worker& w);
@@ -586,6 +687,67 @@ struct spawn_task final : task {
   Fn fn;
 };
 
+/// A spawned body(i) range (see context::spawn_leaf). The execute() below is
+/// a hand-inlined specialization of spawn_task::execute for a frame that is
+/// known to spawn nothing, sync nothing, and touch no reducer: it performs
+/// the same bookkeeping in the same order — depth and live-frame census,
+/// frame_begin, body, the implicit-sync bracket, exception delivery into
+/// the parent slot, frame_end BEFORE the release-decrement that lets the
+/// parent's sync pass (the trace-teardown ordering finish_spawned
+/// documents), and the census decrement last (where the context destructor
+/// would run) — without materializing a context.
+template <typename Body, typename Index>
+struct leaf_task final : task {
+  leaf_task(context* parent, frame_slot* slot, Body b, std::uint64_t ped,
+            Index begin, Index end)
+      : task(parent, slot, ped), body(std::move(b)), begin_(begin), end_(end) {}
+
+  void execute() override {
+    worker* w = scheduler::current_worker();
+    context* parent = parent_frame;
+    const std::uint64_t depth = parent->depth_ + 1;
+    if (depth > w->max_frame_depth.load(std::memory_order_relaxed)) {
+      w->max_frame_depth.store(depth, std::memory_order_relaxed);
+    }
+    bump_counter(w->live_frames);
+    const std::uint64_t live = w->live_frames.load(std::memory_order_relaxed);
+    if (live > w->peak_live_frames.load(std::memory_order_relaxed)) {
+      w->peak_live_frames.store(live, std::memory_order_relaxed);
+    }
+    trace_record(w, trace::event_kind::frame_begin, child_ped_hash,
+                 parent->ped_hash_, static_cast<std::uint32_t>(depth),
+                 static_cast<std::uint16_t>(context::kind::spawned));
+    std::exception_ptr body_exception;
+    try {
+      for (Index i = begin_; i < end_; ++i) body(i);
+    } catch (...) {
+      body_exception = std::current_exception();
+    }
+    // Implicit sync of a frame with no children: rank stays 0, nothing to
+    // wait for, nothing to fold.
+    trace_record(w, trace::event_kind::sync_begin, child_ped_hash, 0, 0, 1);
+    trace_record(w, trace::event_kind::sync_end, child_ped_hash, 0, 0, 1);
+    if (body_exception) {
+      CILKPP_ASSERT(parent_slot != nullptr && parent_slot->is_child,
+                    "spawn slot mismatch");
+      parent_slot->exception = body_exception;
+      parent->child_delivered_.store(true, std::memory_order_relaxed);
+    }
+    trace_record(w, trace::event_kind::frame_end, child_ped_hash);
+    const std::uint32_t prior =
+        parent->pending_.fetch_sub(1, std::memory_order_release);
+    CILKPP_ASSERT(prior != 0, "pending child count underflow");
+    const std::uint64_t prior_live =
+        w->live_frames.load(std::memory_order_relaxed);
+    CILKPP_ASSERT(prior_live != 0, "live-frame census underflow");
+    w->live_frames.store(prior_live - 1, std::memory_order_relaxed);
+  }
+
+  Body body;
+  Index begin_;
+  Index end_;
+};
+
 template <typename Fn>
 void context::spawn(Fn&& fn) {
   CILKPP_ASSERT(!finished_, "spawn on a finished frame");
@@ -601,6 +763,27 @@ void context::spawn(Fn&& fn) {
   using task_type = spawn_task<std::decay_t<Fn>>;
   void* mem = task_allocate(sizeof(task_type));
   auto* t = new (mem) task_type(this, slot, std::forward<Fn>(fn), child_ped);
+  t->alloc_size = sizeof(task_type);
+#if CILKPP_PEDIGREE_ENABLED
+  t->child_birth_rank = rank_ - 1;  // rank before the bump above
+#endif
+  bump_counter(home_->spawns);
+  sched_->push(*home_, t);
+}
+
+template <typename Index, typename Body>
+void context::spawn_leaf(Index begin, Index end, Body&& body) {
+  CILKPP_ASSERT(!finished_, "spawn on a finished frame");
+  const std::uint64_t child_ped = ped_mix(ped_hash_, rank_);
+  trace_record(home_, trace::event_kind::spawn, ped_hash_, child_ped,
+               static_cast<std::uint32_t>(rank_));
+  bump_rank();  // the continuation after this spawn is a new strand
+  frame_slot* slot = reserve_child_slot();
+  pending_.fetch_add(1, std::memory_order_relaxed);
+  using task_type = leaf_task<std::decay_t<Body>, Index>;
+  void* mem = task_allocate(sizeof(task_type));
+  auto* t = new (mem)
+      task_type(this, slot, std::forward<Body>(body), child_ped, begin, end);
   t->alloc_size = sizeof(task_type);
 #if CILKPP_PEDIGREE_ENABLED
   t->child_birth_rank = rank_ - 1;  // rank before the bump above
@@ -649,6 +832,7 @@ auto scheduler::run(Fn&& fn) -> decltype(fn(std::declval<context&>())) {
   CILKPP_ASSERT(current_worker() == nullptr,
                 "run() may not be called from a worker thread");
   set_current_worker(workers_[0].get());
+  workers_[0]->attach_alloc_counters();
 
   context root(this, workers_[0].get(), nullptr, nullptr, context::kind::root,
                /*ped_hash=*/ped::root_seed, /*birth_rank=*/0);

@@ -106,21 +106,40 @@ class serial_context {
 template <typename Index, typename Body>
 void serial_for_impl(serial_context& ctx, Index lo, Index hi, const Body& body,
                      std::uint64_t grain) {
-  while (static_cast<std::uint64_t>(hi - lo) > grain) {
-    Index mid = lo + (hi - lo) / 2;
-    ctx.spawn([lo, mid, &body, grain](serial_context& child) {
-      serial_for_impl(child, lo, mid, body, grain);
-    });
-    lo = mid;
-  }
-  for (Index i = lo; i < hi; ++i) {
-    if constexpr (std::is_invocable_v<const Body&, serial_context&, Index>) {
-      body(ctx, i);
-    } else {
-      body(i);
+  if constexpr (std::is_invocable_v<const Body&, serial_context&, Index>) {
+    while (static_cast<std::uint64_t>(hi - lo) > grain) {
+      Index mid = lo + (hi - lo) / 2;
+      ctx.spawn([lo, mid, &body, grain](serial_context& child) {
+        serial_for_impl(child, lo, mid, body, grain);
+      });
+      lo = mid;
     }
+    for (Index i = lo; i < hi; ++i) body(ctx, i);
+    ctx.sync();
+  } else {
+    // Mirror of the runtime's burst lowering (parallel_for.hpp): halve
+    // down to pfor_burst_grains grains, then one leaf strand per grain —
+    // each an elided spawn consuming one rank, exactly as spawn_leaf does —
+    // with the last grain inline on this frame's strand.
+    const std::uint64_t burst =
+        grain > ~std::uint64_t{0} / 32 ? ~std::uint64_t{0} : 32 * grain;
+    while (static_cast<std::uint64_t>(hi - lo) > burst) {
+      Index mid = lo + (hi - lo) / 2;
+      ctx.spawn([lo, mid, &body, grain](serial_context& child) {
+        serial_for_impl(child, lo, mid, body, grain);
+      });
+      lo = mid;
+    }
+    while (static_cast<std::uint64_t>(hi - lo) > grain) {
+      Index mid = lo + static_cast<decltype(hi - lo)>(grain);
+      ctx.spawn([lo, mid, &body](serial_context&) {
+        for (Index i = lo; i < mid; ++i) body(i);
+      });
+      lo = mid;
+    }
+    for (Index i = lo; i < hi; ++i) body(i);
+    ctx.sync();
   }
-  ctx.sync();
 }
 
 template <typename Index, typename Body>

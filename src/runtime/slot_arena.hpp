@@ -30,6 +30,7 @@
 #include <cstddef>
 #include <exception>
 
+#include "alloc/slab.hpp"
 #include "runtime/hyper_iface.hpp"
 #include "support/assert.hpp"
 
@@ -157,6 +158,18 @@ class slot_arena {
   struct chunk {
     frame_slot slots[chunk_slots];
     chunk* next = nullptr;
+
+#if CILKPP_SLAB_ENABLED
+    // Chunks come from the slab magazines: a deep parallel_for spine that
+    // overflows its inline slots on many frames at once stays off the
+    // system allocator, and chunk starts are cache-line boundaries.
+    static void* operator new(std::size_t size) {
+      return alloc::slab_allocate(size);
+    }
+    static void operator delete(void* p, std::size_t size) noexcept {
+      alloc::slab_deallocate(p, size);
+    }
+#endif
   };
 
   frame_slot inline_[inline_slots];

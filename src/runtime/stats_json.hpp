@@ -1,0 +1,36 @@
+// JSON serialization of worker_stats — the one place the stats schema is
+// spelled out, so every bench and tool emits the same keys. Writes one
+// object (no surrounding document): callers embed it under their own key.
+#pragma once
+
+#include "runtime/scheduler.hpp"
+#include "support/stats.hpp"
+
+namespace cilkpp::rt {
+
+inline void write_worker_stats(json_writer& jw, const worker_stats& s) {
+  jw.begin_object();
+  jw.field("spawns", s.spawns);
+  jw.field("steals", s.steals);
+  jw.field("steal_attempts", s.steal_attempts);
+  jw.field("tasks_executed", s.tasks_executed);
+  jw.field("max_frame_depth", s.max_frame_depth);
+  jw.field("peak_deque", s.peak_deque);
+  jw.field("peak_live_frames", s.peak_live_frames);
+  jw.field("backoff_naps", s.backoff_naps);
+  jw.field("magazine_refills", s.magazine_refills);
+  jw.field("magazine_returns", s.magazine_returns);
+  jw.field("slabs_created", s.slabs_created);
+  jw.field("oversize_allocs", s.oversize_allocs);
+  jw.key("steal_distance");
+  jw.begin_array();
+  for (std::uint64_t b : s.steal_distance) jw.value(b);
+  jw.end_array();
+  jw.key("steals_by_victim");
+  jw.begin_array();
+  for (std::uint64_t v : s.steals_by_victim) jw.value(v);
+  jw.end_array();
+  jw.end_object();
+}
+
+}  // namespace cilkpp::rt

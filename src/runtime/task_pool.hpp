@@ -27,6 +27,13 @@
 // oracle used by tests/task_pool_test.cpp and the stress harness: every
 // spawn allocates exactly one block and every executed task frees it, so an
 // imbalance means a leaked or double-freed task.
+//
+// With CILKPP_SLAB (the default) the block storage behind this interface is
+// the slab magazines of src/alloc: the pool keeps its counter taxonomy and
+// leak oracle (a slab block handed out for a task still counts as one live
+// task block), but pop/push go through alloc::slab_allocate_ex, whose
+// `recycled` bit feeds the same "reused" statistic the freelists tracked.
+// -DCILKPP_SLAB=OFF compiles the original freelist bodies back in.
 #pragma once
 
 #include <bit>
@@ -36,6 +43,8 @@
 #include <mutex>
 #include <new>
 #include <vector>
+
+#include "alloc/slab.hpp"
 
 namespace cilkpp::rt {
 
@@ -131,10 +140,23 @@ inline void* task_allocate(std::size_t size) {
   const std::size_t c = pool_detail::size_class(size);
   auto& lists = pool_detail::local_lists();
   if (c >= pool_detail::num_classes) {
+    // Past the largest task class: still slab-served (the slab's classes
+    // reach 4 KiB, then a counted heap passthrough), but recorded here too
+    // so task_pool_totals() shows what escaped the pool.
     pool_detail::bump(lists.allocs[pool_detail::oversize_row]);
+#if CILKPP_SLAB_ENABLED
+    return alloc::slab_allocate(size);
+#else
     return ::operator new(size);
+#endif
   }
   pool_detail::bump(lists.allocs[c]);
+#if CILKPP_SLAB_ENABLED
+  const alloc::slab_alloc_result r =
+      alloc::slab_allocate_ex(pool_detail::class_sizes[c]);
+  if (r.recycled) pool_detail::bump(lists.reused[c]);
+  return r.p;
+#else
   if (pool_detail::free_block* head = lists.heads[c]) {
     pool_detail::bump(lists.reused[c]);
     lists.heads[c] = head->next;
@@ -142,6 +164,7 @@ inline void* task_allocate(std::size_t size) {
     return head;
   }
   return ::operator new(pool_detail::class_sizes[c]);
+#endif
 }
 
 /// Returns a block obtained from task_allocate with the same `size`.
@@ -150,10 +173,17 @@ inline void task_deallocate(void* p, std::size_t size) noexcept {
   auto& lists = pool_detail::local_lists();
   if (c >= pool_detail::num_classes) {
     pool_detail::bump(lists.frees[pool_detail::oversize_row]);
+#if CILKPP_SLAB_ENABLED
+    alloc::slab_deallocate(p, size);
+#else
     ::operator delete(p);
+#endif
     return;
   }
   pool_detail::bump(lists.frees[c]);
+#if CILKPP_SLAB_ENABLED
+  alloc::slab_deallocate(p, pool_detail::class_sizes[c]);
+#else
   if (lists.cached[c] >= pool_detail::max_cached) {
     ::operator delete(p);
     return;
@@ -162,6 +192,7 @@ inline void task_deallocate(void* p, std::size_t size) noexcept {
   block->next = lists.heads[c];
   lists.heads[c] = block;
   ++lists.cached[c];
+#endif
 }
 
 /// Aggregated counters for one size class (or the oversize fallback).
@@ -200,6 +231,16 @@ struct task_pool_stats {
   /// Only meaningful while no computation is in flight (a worker between
   /// t->execute() and destroy_task holds one live block).
   bool balanced() const { return live() == 0; }
+  /// Requests above the largest size class. Non-zero means some spawn_task
+  /// closure outgrew the pool — it was still served (slab class or heap)
+  /// and still counted, but the bench JSON flags it so a silently fat
+  /// closure can't hide behind the pooled classes.
+  std::uint64_t oversize_allocs() const {
+    return classes[pool_detail::oversize_row].allocs;
+  }
+  std::uint64_t oversize_frees() const {
+    return classes[pool_detail::oversize_row].frees;
+  }
 };
 
 /// Snapshot of the pool counters across all threads that ever used the

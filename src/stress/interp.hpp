@@ -16,6 +16,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "alloc/slab.hpp"
 #include "dag/recorder.hpp"
 #include "cilkscreen/screen_context.hpp"
 #include "hyper/reducers.hpp"
@@ -104,6 +105,17 @@ struct alignas(cache_line_size) stress_stripe {
 /// flag would be CORRECT, which is the point: the pools, like real
 /// per-strand output arrays, must not share lines).
 struct run_state {
+  /// Pool storage rides the slab's aligned path (padded<…> and
+  /// stress_stripe are alignas(64), above the default heap alignment), so
+  /// every chaos sweep's pools also exercise — and are counted by — the
+  /// allocator under test.
+  template <typename T>
+#if CILKPP_SLAB_ENABLED
+  using pool_vector = std::vector<T, alloc::slab_std_allocator<T>>;
+#else
+  using pool_vector = std::vector<T>;
+#endif
+
   explicit run_state(const program& p)
       : slots(p.num_slots),
         cells(p.num_cells),
@@ -112,10 +124,10 @@ struct run_state {
         draws(p.num_slots + p.num_cells, 0),
         mutexes(p.num_locks) {}
 
-  std::vector<padded<std::uint64_t>> slots;  ///< one per work leaf
-  std::vector<padded<std::uint64_t>> cells;  ///< one per pfor iteration
-  std::vector<padded<std::uint64_t>> marks;  ///< one per throw_last
-  std::vector<stress_stripe> stripes;        ///< stripe_write pool
+  pool_vector<padded<std::uint64_t>> slots;  ///< one per work leaf
+  pool_vector<padded<std::uint64_t>> cells;  ///< one per pfor iteration
+  pool_vector<padded<std::uint64_t>> marks;  ///< one per throw_last
+  pool_vector<stress_stripe> stripes;        ///< stripe_write pool
   /// One DPRNG draw per work leaf (indexed by slot) and pfor iteration
   /// (offset by num_slots); all-zero under engines without dprng_draw.
   /// Never instrumented, so no padding needed.

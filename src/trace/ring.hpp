@@ -18,10 +18,22 @@
 #include <cstdint>
 #include <vector>
 
+#include "alloc/slab.hpp"
 #include "support/cache.hpp"
 #include "trace/event.hpp"
 
 namespace cilkpp::trace {
+
+namespace ring_detail {
+#if CILKPP_SLAB_ENABLED
+/// Ring buffers come from the slab's counted aligned path, so per-worker
+/// rings allocated at scheduler construction show up in the allocator's
+/// system_allocs gauge instead of as anonymous operator-new traffic.
+using event_buffer = std::vector<event, alloc::slab_std_allocator<event>>;
+#else
+using event_buffer = std::vector<event>;
+#endif
+}  // namespace ring_detail
 
 class event_ring {
  public:
@@ -68,7 +80,7 @@ class event_ring {
   std::uint64_t dropped() const { return drops_.load(std::memory_order_relaxed); }
 
  private:
-  std::vector<event> buf_;
+  ring_detail::event_buffer buf_;
   std::size_t mask_;
   alignas(cache_line_size) std::atomic<std::uint64_t> tail_{0};  // producer
   std::uint64_t cached_head_ = 0;  // producer-local snapshot of head_
